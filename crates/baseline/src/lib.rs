@@ -1,0 +1,20 @@
+//! # liberty-baseline — monolithic comparators
+//!
+//! The paper's §1 describes "the most prevalent modeling methodology
+//! employed today": hand-writing monolithic simulators in a sequential
+//! language, mapping the concurrent structure into one big loop. This
+//! crate *is* that methodology, applied to the same two targets the
+//! structural libraries model, so experiment E11 can compare:
+//!
+//! * architectural results (must match — both defer to the same ISA
+//!   semantics), and
+//! * simulation speed (the monolithic code avoids the kernel's generality
+//!   and is expected to be faster — the cost the paper accepts in
+//!   exchange for reuse, composability and confidence).
+//!
+//! [`mono_core`] is the processor; [`mono_net`] is the mesh network.
+
+#![warn(missing_docs)]
+
+pub mod mono_core;
+pub mod mono_net;

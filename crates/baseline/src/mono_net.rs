@@ -1,0 +1,197 @@
+//! A monolithic mesh network simulator: one flat loop over routers with
+//! hard-coded XY routing and round-robin output arbitration — the
+//! conventional "one-off" network simulator the paper contrasts with
+//! structural composition. Used as the network-side speed comparator of
+//! experiment E11.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// A packet in the monolithic model.
+#[derive(Clone, Copy, Debug)]
+struct Pkt {
+    dst: u32,
+    created: u64,
+}
+
+/// Run statistics.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Sum of delivery latencies.
+    pub latency_sum: u64,
+}
+
+impl NetStats {
+    /// Mean delivery latency.
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.delivered as f64
+        }
+    }
+}
+
+/// The monolithic mesh simulator.
+pub struct MonoMesh {
+    w: u32,
+    h: u32,
+    rate: f64,
+    buf_depth: usize,
+    /// Per router, per input port (N, E, S, W, local): FIFO of packets.
+    bufs: Vec<[VecDeque<Pkt>; 5]>,
+    rr: Vec<usize>,
+    rng: StdRng,
+    now: u64,
+    stats: NetStats,
+}
+
+impl MonoMesh {
+    /// Create a `w`×`h` mesh with uniform Bernoulli injection at `rate`.
+    pub fn new(w: u32, h: u32, rate: f64, buf_depth: usize, seed: u64) -> Self {
+        let n = (w * h) as usize;
+        MonoMesh {
+            w,
+            h,
+            rate,
+            buf_depth,
+            bufs: (0..n).map(|_| Default::default()).collect(),
+            rr: vec![0; n],
+            rng: StdRng::seed_from_u64(seed),
+            now: 0,
+            stats: NetStats::default(),
+        }
+    }
+
+    fn route(&self, at: u32, dst: u32) -> usize {
+        let (x, y) = (at % self.w, at / self.w);
+        let (dx, dy) = (dst % self.w, dst / self.w);
+        if dx > x {
+            1
+        } else if dx < x {
+            3
+        } else if dy > y {
+            2
+        } else if dy < y {
+            0
+        } else {
+            4
+        }
+    }
+
+    fn neighbour(&self, at: u32, dir: usize) -> Option<u32> {
+        let (x, y) = ((at % self.w) as i64, (at / self.w) as i64);
+        let (nx, ny) = match dir {
+            0 => (x, y - 1),
+            1 => (x + 1, y),
+            2 => (x, y + 1),
+            _ => (x - 1, y),
+        };
+        (nx >= 0 && nx < self.w as i64 && ny >= 0 && ny < self.h as i64)
+            .then(|| (ny as u32) * self.w + nx as u32)
+    }
+
+    /// Simulate one cycle.
+    pub fn step(&mut self) {
+        let n = self.bufs.len() as u32;
+        // Injection.
+        for id in 0..n {
+            if self.bufs[id as usize][4].len() < self.buf_depth && self.rng.gen_bool(self.rate) {
+                let dst = loop {
+                    let d = self.rng.gen_range(0..n);
+                    if d != id {
+                        break d;
+                    }
+                };
+                self.bufs[id as usize][4].push_back(Pkt {
+                    dst,
+                    created: self.now,
+                });
+                self.stats.injected += 1;
+            }
+        }
+        // One switch pass: for each router, each output port grants one
+        // input (round-robin), moves head-of-line packets.
+        const OPP: [usize; 4] = [2, 3, 0, 1];
+        let mut moves: Vec<(u32, usize, u32, usize)> = Vec::new(); // (from, port, to, to_port)
+        let mut ejects: Vec<(u32, usize)> = Vec::new();
+        for id in 0..n {
+            let mut granted_out = [false; 5];
+            let base = self.rr[id as usize];
+            for k in 0..5 {
+                let inp = (base + k) % 5;
+                let Some(pkt) = self.bufs[id as usize][inp].front() else {
+                    continue;
+                };
+                let out = self.route(id, pkt.dst);
+                if granted_out[out] {
+                    continue;
+                }
+                if out == 4 {
+                    granted_out[4] = true;
+                    ejects.push((id, inp));
+                } else if let Some(nb) = self.neighbour(id, out) {
+                    // Space check at the far side (as of cycle start).
+                    if self.bufs[nb as usize][OPP[out]].len() < self.buf_depth {
+                        granted_out[out] = true;
+                        moves.push((id, inp, nb, OPP[out]));
+                    }
+                }
+            }
+            self.rr[id as usize] = (base + 1) % 5;
+        }
+        for (id, inp) in ejects {
+            let pkt = self.bufs[id as usize][inp].pop_front().expect("head");
+            self.stats.delivered += 1;
+            self.stats.latency_sum += self.now - pkt.created;
+        }
+        for (from, port, to, to_port) in moves {
+            let pkt = self.bufs[from as usize][port].pop_front().expect("head");
+            self.bufs[to as usize][to_port].push_back(pkt);
+        }
+        self.now += 1;
+    }
+
+    /// Run `cycles` cycles and return the statistics.
+    pub fn run(&mut self, cycles: u64) -> &NetStats {
+        for _ in 0..cycles {
+            self.step();
+        }
+        &self.stats
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_most_of_what_it_injects() {
+        let mut net = MonoMesh::new(4, 4, 0.05, 4, 7);
+        net.run(500);
+        let s = net.stats();
+        assert!(s.injected > 100);
+        assert!(s.delivered as f64 >= s.injected as f64 * 0.8);
+        assert!(s.mean_latency() >= 2.0);
+    }
+
+    #[test]
+    fn latency_rises_with_load() {
+        let lat = |rate| {
+            let mut net = MonoMesh::new(4, 4, rate, 4, 7);
+            net.run(600);
+            net.stats().mean_latency()
+        };
+        assert!(lat(0.02) < lat(0.2));
+    }
+}

@@ -1,0 +1,92 @@
+//! E10 microbenchmarks: dynamic vs static reaction-phase scheduling on
+//! representative netlists (ref [22]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use liberty_ccl::topology::build_grid;
+use liberty_ccl::traffic::{traffic_gen, traffic_sink, Pattern, TrafficCfg};
+use liberty_core::prelude::*;
+use liberty_pcl::register::reg;
+use liberty_pcl::{sink, source};
+use liberty_upl::core::{core_simulator, CoreConfig};
+use liberty_upl::program;
+use std::sync::Arc;
+
+fn chain(n: usize, sched: SchedKind) -> Simulator {
+    let mut b = NetlistBuilder::new();
+    let (s_spec, s_mod) = source::repeating(Value::Word(1));
+    let s = b.add("s", s_spec, s_mod).unwrap();
+    let mut prev = s;
+    for i in 0..n {
+        let (r_spec, r_mod) = reg(&Params::new()).unwrap();
+        let r = b.add(format!("r{i}"), r_spec, r_mod).unwrap();
+        b.connect(prev, "out", r, "in").unwrap();
+        prev = r;
+    }
+    let (k_spec, k_mod) = sink::counting(&Params::new()).unwrap();
+    let k = b.add("k", k_spec, k_mod).unwrap();
+    b.connect(prev, "out", k, "in").unwrap();
+    Simulator::new(b.build().unwrap(), sched)
+}
+
+fn mesh(sched: SchedKind) -> Simulator {
+    let mut b = NetlistBuilder::new();
+    let fabric = build_grid(&mut b, "n.", 4, 4, 4, 1, false).unwrap();
+    for id in 0..fabric.nodes {
+        let (g_spec, g_mod) = traffic_gen(TrafficCfg {
+            nodes: fabric.nodes,
+            width: 4,
+            my: id,
+            rate: 0.1,
+            pattern: Pattern::Uniform,
+            flits: 4,
+            seed: 3,
+            ..TrafficCfg::default()
+        });
+        let g = b.add(format!("g{id}"), g_spec, g_mod).unwrap();
+        let (ti, tp) = fabric.local_in[id as usize];
+        b.connect(g, "out", ti, tp).unwrap();
+        let (k_spec, k_mod) = traffic_sink(Some(id));
+        let k = b.add(format!("s{id}"), k_spec, k_mod).unwrap();
+        let (fo, fp) = fabric.local_out[id as usize];
+        b.connect(fo, fp, k, "in").unwrap();
+    }
+    Simulator::new(b.build().unwrap(), sched)
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_scheduler");
+    for (name, mk) in [
+        ("chain64", Box::new(|s| chain(64, s)) as Box<dyn Fn(SchedKind) -> Simulator>),
+        ("mesh4x4", Box::new(mesh)),
+        (
+            "lir_core_fib",
+            Box::new(|s| {
+                core_simulator(Arc::new(program::fib(24)), &CoreConfig::default(), s)
+                    .unwrap()
+                    .0
+            }),
+        ),
+    ] {
+        for sched in [SchedKind::Dynamic, SchedKind::Static] {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{sched:?}")),
+                &sched,
+                |bench, &sched| {
+                    bench.iter_batched(
+                        || mk(sched),
+                        |mut sim| sim.run(200).unwrap(),
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scheduler
+}
+criterion_main!(benches);

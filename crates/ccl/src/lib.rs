@@ -1,0 +1,125 @@
+//! # liberty-ccl — Communication Component Library (Orion)
+//!
+//! "Orion was proposed to address this need, targeting the communication
+//! components of a wide array of systems, ranging from on-chip networks in
+//! chip multi-processors, to electrical and optical chip-to-chip and
+//! board-to-board fabrics in petaflops grids-in-a-box, to wireless fabrics
+//! in sensor networks." (paper §3.3)
+//!
+//! Routers here are *compositions of PCL primitives* (queues, crossbar,
+//! registers) plus one CCL-specific leaf (route computation) — see
+//! [`router`]. Topology builders ([`topology`]) assemble meshes, tori and
+//! rings. Traffic models ([`traffic`]) provide the statistical abstraction
+//! of §2.2; [`wireless`] is the sensor-network fabric; [`power`] carries
+//! the Orion dynamic + leakage + thermal models; [`wormhole`] refines the
+//! fabric to flit granularity (wormhole switching with output locking).
+
+#![warn(missing_docs)]
+
+pub mod packet;
+pub mod power;
+pub mod route;
+pub mod router;
+pub mod topology;
+pub mod traffic;
+pub mod wireless;
+pub mod wormhole;
+
+use liberty_core::prelude::*;
+use liberty_core::registry::ExportedPort;
+use traffic::{Pattern, TrafficCfg};
+
+/// Register CCL templates: leaf templates (`wireless`, `traffic_gen`,
+/// `traffic_sink`) and the `mesh_noc` composite (a full mesh network with
+/// per-node generators and sinks, for LSS-level experiments).
+pub fn register_all(reg: &mut Registry) {
+    wireless::register(reg);
+    reg.register(
+        "ccl",
+        "traffic_gen",
+        "statistical packet source; params: nodes, width, my, rate, pattern, flits, seed, limit",
+        |params| {
+            let cfg = TrafficCfg {
+                nodes: params.usize_or("nodes", 1)? as u32,
+                width: params.usize_or("width", 1)? as u32,
+                my: params.usize_or("my", 0)? as u32,
+                rate: params.float_or("rate", 0.1)?,
+                pattern: Pattern::parse(&params.str_or("pattern", "uniform")?)?,
+                flits: params.usize_or("flits", 4)? as u32,
+                hot_frac: params.float_or("hot_frac", 0.5)?,
+                seed: params.int_or("seed", 7)? as u64,
+                limit: params.int_or("limit", i64::MAX)? as u64,
+                backoff: params.bool_or("backoff", false)?,
+            };
+            Ok(traffic::traffic_gen(cfg))
+        },
+    );
+    reg.register(
+        "ccl",
+        "traffic_sink",
+        "packet sink recording delivery latency; param expect (int) checks routing",
+        |params| {
+            let expect = if params.contains("expect") {
+                Some(params.require_int("expect")? as u32)
+            } else {
+                None
+            };
+            Ok(traffic::traffic_sink(expect))
+        },
+    );
+    reg.register_composite(
+        "ccl",
+        "mesh_noc",
+        "w x h mesh with per-node traffic generators and sinks; params: w, h, rate, pattern, flits, buf_depth, link_latency, seed",
+        |params, b, prefix| {
+            let w = params.usize_or("w", 4)? as u32;
+            let h = params.usize_or("h", 4)? as u32;
+            let fabric = topology::build_grid(
+                b,
+                prefix,
+                w,
+                h,
+                params.usize_or("buf_depth", 4)?,
+                params.usize_or("link_latency", 1)?,
+                false,
+            )?;
+            for id in 0..fabric.nodes {
+                let cfg = TrafficCfg {
+                    nodes: fabric.nodes,
+                    width: w,
+                    my: id,
+                    rate: params.float_or("rate", 0.05)?,
+                    pattern: Pattern::parse(&params.str_or("pattern", "uniform")?)?,
+                    flits: params.usize_or("flits", 4)? as u32,
+                    hot_frac: params.float_or("hot_frac", 0.5)?,
+                    seed: params.int_or("seed", 7)? as u64,
+                    limit: i64::MAX as u64,
+                    backoff: false,
+                };
+                let (g_spec, g_mod) = traffic::traffic_gen(cfg);
+                let g = b.add(format!("{prefix}gen{id}"), g_spec, g_mod)?;
+                let (ti, tp) = fabric.local_in[id as usize];
+                b.connect(g, "out", ti, tp)?;
+                let (k_spec, k_mod) = traffic::traffic_sink(Some(id));
+                let k = b.add(format!("{prefix}sink{id}"), k_spec, k_mod)?;
+                let (fo, fp) = fabric.local_out[id as usize];
+                b.connect(fo, fp, k, "in")?;
+            }
+            Ok(Vec::<ExportedPort>::new())
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_all_populates() {
+        let mut r = Registry::new();
+        register_all(&mut r);
+        assert!(r.get("wireless").is_ok());
+        assert!(r.get("traffic_gen").is_ok());
+        assert!(r.get("mesh_noc").unwrap().is_composite());
+    }
+}

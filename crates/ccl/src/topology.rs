@@ -1,0 +1,147 @@
+//! Topology builders: meshes, tori and rings of composed routers joined
+//! by link delays, with local ports exposed for whatever sits at each
+//! node (statistical generator, NI, processor — paper §2.2).
+//!
+//! Note on deadlock: these fabrics use packet-granularity store-and-
+//! forward with lossless backpressure and no virtual channels. XY routing
+//! on a *mesh* is deadlock-free; torus and ring wrap links close cyclic
+//! channel dependencies, so those fabrics must be run below saturation
+//! (documented substitution: the paper's Orion models VC routers).
+
+use crate::route::RouteKind;
+use crate::router::{build_router, RouterPorts};
+use liberty_core::prelude::*;
+use liberty_pcl::delay::delay;
+
+/// A built fabric: per node, where to inject and where to eject.
+pub struct Fabric {
+    /// Node count.
+    pub nodes: u32,
+    /// Per node: instance/port to connect a local source into.
+    pub local_in: Vec<(InstanceId, &'static str)>,
+    /// Per node: instance/port local deliveries come out of.
+    pub local_out: Vec<(InstanceId, &'static str)>,
+}
+
+fn connect_link(
+    b: &mut NetlistBuilder,
+    name: String,
+    from: (InstanceId, &'static str),
+    to: (InstanceId, &'static str),
+    latency: usize,
+) -> Result<(), SimError> {
+    let (l_spec, l_mod) = delay(&Params::new().with("latency", latency.max(1)))?;
+    let l = b.add(name, l_spec, l_mod)?;
+    b.connect(from.0, from.1, l, "in")?;
+    b.connect(l, "out", to.0, to.1)?;
+    Ok(())
+}
+
+/// Build a `w`×`h` mesh (or torus when `wrap`) of routers under `prefix`.
+pub fn build_grid(
+    b: &mut NetlistBuilder,
+    prefix: &str,
+    w: u32,
+    h: u32,
+    buf_depth: usize,
+    link_latency: usize,
+    wrap: bool,
+) -> Result<Fabric, SimError> {
+    let nodes = w * h;
+    let mut routers: Vec<RouterPorts> = Vec::with_capacity(nodes as usize);
+    for id in 0..nodes {
+        let kind = if wrap {
+            RouteKind::TorusXy { w, h, my: id }
+        } else {
+            RouteKind::MeshXy { w, h, my: id }
+        };
+        routers.push(build_router(b, &format!("{prefix}r{id}."), kind, buf_depth)?);
+    }
+    // Directions: 0 = N, 1 = E, 2 = S, 3 = W.
+    const OPP: [usize; 4] = [2, 3, 0, 1];
+    for y in 0..h {
+        for x in 0..w {
+            let id = (y * w + x) as usize;
+            // For each direction, the neighbour (if any).
+            let neighbour = |dir: usize| -> Option<usize> {
+                let (nx, ny) = match dir {
+                    0 => (x as i64, y as i64 - 1),
+                    1 => (x as i64 + 1, y as i64),
+                    2 => (x as i64, y as i64 + 1),
+                    _ => (x as i64 - 1, y as i64),
+                };
+                if wrap {
+                    let nx = nx.rem_euclid(w as i64) as u32;
+                    let ny = ny.rem_euclid(h as i64) as u32;
+                    Some((ny * w + nx) as usize)
+                } else if nx >= 0 && nx < w as i64 && ny >= 0 && ny < h as i64 {
+                    Some((ny as u32 * w + nx as u32) as usize)
+                } else {
+                    None
+                }
+            };
+            for dir in 0..4 {
+                if let Some(n) = neighbour(dir) {
+                    // Degenerate wraps (1-wide dimensions) would self-link.
+                    if n != id {
+                        connect_link(
+                            b,
+                            format!("{prefix}link_{id}_{dir}"),
+                            routers[id].outputs[dir],
+                            routers[n].inputs[OPP[dir]],
+                            link_latency,
+                        )?;
+                    }
+                }
+                // Unconnected edge ports are fine: partial specification.
+            }
+        }
+    }
+    Ok(Fabric {
+        nodes,
+        local_in: routers.iter().map(|r| r.inputs[4]).collect(),
+        local_out: routers.iter().map(|r| r.outputs[4]).collect(),
+    })
+}
+
+/// Build an `n`-node bidirectional ring under `prefix`.
+pub fn build_ring(
+    b: &mut NetlistBuilder,
+    prefix: &str,
+    n: u32,
+    buf_depth: usize,
+    link_latency: usize,
+) -> Result<Fabric, SimError> {
+    let mut routers: Vec<RouterPorts> = Vec::with_capacity(n as usize);
+    for id in 0..n {
+        routers.push(build_router(
+            b,
+            &format!("{prefix}r{id}."),
+            RouteKind::Ring { n, my: id },
+            buf_depth,
+        )?);
+    }
+    for id in 0..n as usize {
+        let next = (id + 1) % n as usize;
+        // CW: out 0 -> next's CCW input side (port 1 input) and vice versa.
+        connect_link(
+            b,
+            format!("{prefix}link_cw_{id}"),
+            routers[id].outputs[0],
+            routers[next].inputs[1],
+            link_latency,
+        )?;
+        connect_link(
+            b,
+            format!("{prefix}link_ccw_{next}"),
+            routers[next].outputs[1],
+            routers[id].inputs[0],
+            link_latency,
+        )?;
+    }
+    Ok(Fabric {
+        nodes: n,
+        local_in: routers.iter().map(|r| r.inputs[2]).collect(),
+        local_out: routers.iter().map(|r| r.outputs[2]).collect(),
+    })
+}

@@ -1,0 +1,663 @@
+//! The simulator constructed from a netlist: two-phase time-steps with
+//! fixed-point signal resolution (LSE's reactive model of computation).
+//!
+//! Each time-step:
+//!
+//! 1. **Reaction phase** — module `react` handlers run (possibly several
+//!    times each) until no more wires can resolve. Wires resolve
+//!    monotonically; the fixed point is unique for monotone modules, so the
+//!    result is independent of scheduling order.
+//! 2. **Default resolution** — any wire still `Unknown` at quiescence gets
+//!    the default control semantics (data `No`, enable mirrors data, ack
+//!    `Yes`), *one wire at a time*, resuming reactions after each, so a
+//!    module woken by a default can still drive its own wires. This is what
+//!    makes partial specifications executable (paper §2.2).
+//! 3. **Commit phase** — every module's `commit` runs once and updates
+//!    internal state from the completed transfers.
+//!
+//! Two schedulers drive the reaction phase (paper ref [22]): a dynamic
+//! FIFO worklist, and a static rank-ordered worklist derived from the
+//! netlist's dependency structure, which reaches the same fixed point with
+//! fewer handler invocations.
+
+use crate::error::SimError;
+use crate::netlist::{EdgeId, EdgeMeta, InstanceId, InstanceMeta, Netlist};
+use crate::sched::{compute_ranks, RankQueue};
+use crate::signal::{Res, SignalState, Wire, WriteOutcome};
+use crate::stats::{Stats, StatsReport};
+use crate::value::Value;
+use std::collections::VecDeque;
+
+use crate::module::{Dir, Module, PortId};
+
+/// Which reaction-phase scheduler to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedKind {
+    /// Naive repeated full sweeps until quiescence — the unoptimized
+    /// baseline a simulator constructor starts from (no wake tracking).
+    Sweep,
+    /// FIFO worklist; wakes only the readers of newly resolved wires.
+    Dynamic,
+    /// Rank-ordered worklist from a topological analysis of the netlist
+    /// (SCC condensation); the optimization of paper ref [22].
+    Static,
+}
+
+/// Invocation counters exposed for the scheduler-optimization experiment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EngineMetrics {
+    /// Time-steps executed.
+    pub steps: u64,
+    /// Total `react` handler invocations.
+    pub reacts: u64,
+    /// Total `commit` handler invocations.
+    pub commits: u64,
+    /// Wires resolved by the default control semantics.
+    pub defaults: u64,
+}
+
+/// Observer of completed transfers, for tracing/visualization.
+pub trait Tracer: Send {
+    /// Called once per completed transfer at the end of each time-step.
+    fn transfer(&mut self, now: u64, src: &str, dst: &str, value: &Value);
+}
+
+/// The executable simulator (paper Fig. 1's "Simulator Executable").
+pub struct Simulator {
+    meta: Vec<InstanceMeta>,
+    modules: Vec<Box<dyn Module>>,
+    edges: Vec<EdgeMeta>,
+    signals: Vec<SignalState>,
+    stats: Stats,
+    now: u64,
+    sched: SchedKind,
+    rank_queue: Option<RankQueue>,
+    metrics: EngineMetrics,
+    tracer: Option<Box<dyn Tracer>>,
+    wake_buf: Vec<(EdgeId, Wire)>,
+}
+
+impl Simulator {
+    /// Construct a simulator from a validated netlist.
+    pub fn new(net: Netlist, sched: SchedKind) -> Self {
+        let n_edges = net.edges.len();
+        let ranks = match sched {
+            SchedKind::Dynamic | SchedKind::Sweep => Vec::new(),
+            SchedKind::Static => compute_ranks(&net),
+        };
+        let rank_queue = (sched == SchedKind::Static).then(|| RankQueue::new(&ranks));
+        Simulator {
+            meta: net.instances,
+            modules: net.modules,
+            edges: net.edges,
+            signals: vec![SignalState::default(); n_edges],
+            stats: Stats::new(),
+            now: 0,
+            sched,
+            rank_queue,
+            metrics: EngineMetrics::default(),
+            tracer: None,
+            wake_buf: Vec::new(),
+        }
+    }
+
+    /// Attach a transfer tracer.
+    pub fn set_tracer(&mut self, t: Box<dyn Tracer>) {
+        self.tracer = Some(t);
+    }
+
+    /// Current time-step number (cycles completed).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The statistics collected so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Engine invocation counters.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.metrics
+    }
+
+    /// Which scheduler this simulator runs.
+    pub fn sched(&self) -> SchedKind {
+        self.sched
+    }
+
+    /// Instance names in id order (for stats reports).
+    pub fn instance_names(&self) -> Vec<String> {
+        self.meta.iter().map(|m| m.name.clone()).collect()
+    }
+
+    /// Look up an instance id by name.
+    pub fn instance_by_name(&self, name: &str) -> Option<InstanceId> {
+        self.meta
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| InstanceId(i as u32))
+    }
+
+    /// Build a serializable statistics report.
+    pub fn report(&self) -> StatsReport {
+        self.stats.report(&self.instance_names())
+    }
+
+    /// How many instances of each template the netlist contains — the
+    /// ground truth for the reuse census (experiment E6).
+    pub fn template_census(&self) -> std::collections::BTreeMap<String, usize> {
+        let mut census = std::collections::BTreeMap::new();
+        for m in &self.meta {
+            *census.entry(m.spec.template.clone()).or_insert(0) += 1;
+        }
+        census
+    }
+
+    /// Number of connections in the netlist.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Run `cycles` time-steps.
+    pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
+        for _ in 0..cycles {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Run until `pred` returns true (checked after each step) or until
+    /// `max_cycles` elapse. Returns the number of steps executed.
+    pub fn run_until(
+        &mut self,
+        max_cycles: u64,
+        mut pred: impl FnMut(&Stats) -> bool,
+    ) -> Result<u64, SimError> {
+        for c in 0..max_cycles {
+            self.step()?;
+            if pred(&self.stats) {
+                return Ok(c + 1);
+            }
+        }
+        Ok(max_cycles)
+    }
+
+    /// Execute one complete time-step.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        for s in &mut self.signals {
+            s.reset();
+        }
+        self.reaction_phase()?;
+        self.default_phase()?;
+        self.commit_phase()?;
+        self.metrics.steps += 1;
+        self.now += 1;
+        Ok(())
+    }
+
+    fn react_one(&mut self, i: usize, newly: &mut Vec<(EdgeId, Wire)>) -> Result<(), SimError> {
+        self.metrics.reacts += 1;
+        let Simulator {
+            meta,
+            modules,
+            edges,
+            signals,
+            stats,
+            now,
+            ..
+        } = self;
+        let _ = &edges;
+        let mut ctx = ReactCtx {
+            inst: InstanceId(i as u32),
+            meta: &meta[i],
+            signals,
+            stats,
+            newly,
+            now: *now,
+        };
+        modules[i].react(&mut ctx)
+    }
+
+    /// Who must be re-woken when a wire resolves: data/enable flow to the
+    /// receiver; ack flows to the sender, but only matters reactively when
+    /// the sender declared `reads_ack_in_react` (otherwise its `commit`
+    /// sees the final value regardless, so no wake is needed).
+    fn wake_target(&self, e: EdgeId, wire: Wire) -> Option<InstanceId> {
+        let em = &self.edges[e.0 as usize];
+        match wire {
+            Wire::Data | Wire::Enable => Some(em.dst.inst),
+            Wire::Ack => {
+                let src = em.src.inst;
+                if self.meta[src.0 as usize].spec.reads_ack_in_react {
+                    Some(src)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn reaction_phase(&mut self) -> Result<(), SimError> {
+        let n = self.meta.len();
+        match self.sched {
+            SchedKind::Sweep => self.drain_sweep(),
+            SchedKind::Dynamic => {
+                let mut queued = vec![true; n];
+                let mut q: VecDeque<u32> = (0..n as u32).collect();
+                self.drain_fifo(&mut q, &mut queued)
+            }
+            SchedKind::Static => {
+                let mut q = self.rank_queue.take().expect("static rank queue");
+                q.reset();
+                for i in 0..n as u32 {
+                    q.push(i);
+                }
+                let r = self.drain_ranked(&mut q);
+                self.rank_queue = Some(q);
+                r
+            }
+        }
+    }
+
+    /// Naive scheduler: sweep every instance repeatedly until a sweep
+    /// resolves nothing new.
+    fn drain_sweep(&mut self) -> Result<(), SimError> {
+        let n = self.meta.len();
+        let mut newly = std::mem::take(&mut self.wake_buf);
+        let result = (|| loop {
+            let mut progressed = false;
+            for i in 0..n {
+                newly.clear();
+                self.react_one(i, &mut newly)?;
+                if !newly.is_empty() {
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return Ok(());
+            }
+        })();
+        self.wake_buf = newly;
+        result
+    }
+
+    fn drain_fifo(&mut self, q: &mut VecDeque<u32>, queued: &mut [bool]) -> Result<(), SimError> {
+        let mut newly = std::mem::take(&mut self.wake_buf);
+        let result = (|| {
+            while let Some(i) = q.pop_front() {
+                queued[i as usize] = false;
+                newly.clear();
+                self.react_one(i as usize, &mut newly)?;
+                for (e, wire) in newly.drain(..) {
+                    if let Some(t) = self.wake_target(e, wire) {
+                        if !queued[t.0 as usize] {
+                            queued[t.0 as usize] = true;
+                            q.push_back(t.0);
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })();
+        self.wake_buf = newly;
+        result
+    }
+
+    fn drain_ranked(&mut self, q: &mut RankQueue) -> Result<(), SimError> {
+        let mut newly = std::mem::take(&mut self.wake_buf);
+        let result = (|| {
+            while let Some(i) = q.pop() {
+                newly.clear();
+                self.react_one(i as usize, &mut newly)?;
+                for (e, wire) in newly.drain(..) {
+                    if let Some(t) = self.wake_target(e, wire) {
+                        q.push(t.0);
+                    }
+                }
+            }
+            Ok(())
+        })();
+        self.wake_buf = newly;
+        result
+    }
+
+    /// Lazy default resolution: default the lowest-numbered unresolved
+    /// wire, wake its reader, resume reactions; repeat to full resolution.
+    fn default_phase(&mut self) -> Result<(), SimError> {
+        let mut cursor = 0usize;
+        loop {
+            // Advance past fully resolved edges; resolution is monotone so
+            // the cursor never needs to move backwards.
+            while cursor < self.signals.len() {
+                let s = &self.signals[cursor];
+                if s.data.is_resolved() && s.enable.is_resolved() && s.ack.is_resolved() {
+                    cursor += 1;
+                } else {
+                    break;
+                }
+            }
+            if cursor >= self.signals.len() {
+                return Ok(());
+            }
+            let e = EdgeId(cursor as u32);
+            let wire = {
+                let s = &mut self.signals[cursor];
+                if !s.data.is_resolved() {
+                    s.write_data(Res::No)?;
+                    Wire::Data
+                } else if !s.enable.is_resolved() {
+                    let en = if s.data.is_yes() { Res::Yes(()) } else { Res::No };
+                    s.write_enable(en)?;
+                    Wire::Enable
+                } else {
+                    s.write_ack(Res::Yes(()))?;
+                    Wire::Ack
+                }
+            };
+            self.metrics.defaults += 1;
+            let Some(target) = self.wake_target(e, wire) else {
+                continue;
+            };
+            let target = target.0;
+            match self.sched {
+                SchedKind::Sweep => self.drain_sweep()?,
+                SchedKind::Dynamic => {
+                    let n = self.meta.len();
+                    let mut queued = vec![false; n];
+                    let mut q = VecDeque::with_capacity(4);
+                    queued[target as usize] = true;
+                    q.push_back(target);
+                    self.drain_fifo(&mut q, &mut queued)?;
+                }
+                SchedKind::Static => {
+                    let mut q = self.rank_queue.take().expect("static rank queue");
+                    q.reset();
+                    q.push(target);
+                    let r = self.drain_ranked(&mut q);
+                    self.rank_queue = Some(q);
+                    r?;
+                }
+            }
+        }
+    }
+
+    fn commit_phase(&mut self) -> Result<(), SimError> {
+        for i in 0..self.meta.len() {
+            self.metrics.commits += 1;
+            let Simulator {
+                meta,
+                modules,
+                edges,
+                signals,
+                stats,
+                now,
+                ..
+            } = self;
+            let _ = &edges;
+            let mut ctx = CommitCtx {
+                inst: InstanceId(i as u32),
+                meta: &meta[i],
+                signals,
+                stats,
+                now: *now,
+            };
+            modules[i].commit(&mut ctx)?;
+        }
+        if let Some(tracer) = &mut self.tracer {
+            for (ei, s) in self.signals.iter().enumerate() {
+                if let Some(v) = s.transferred() {
+                    let em = &self.edges[ei];
+                    tracer.transfer(
+                        self.now,
+                        &self.meta[em.src.inst.0 as usize].name,
+                        &self.meta[em.dst.inst.0 as usize].name,
+                        v,
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Context handed to [`Module::react`]: resolved-signal reads plus
+/// monotonic wire writes on the reacting instance's own ports.
+pub struct ReactCtx<'a> {
+    inst: InstanceId,
+    meta: &'a InstanceMeta,
+    signals: &'a mut [SignalState],
+    stats: &'a mut Stats,
+    newly: &'a mut Vec<(EdgeId, Wire)>,
+    now: u64,
+}
+
+impl<'a> ReactCtx<'a> {
+    /// Current time-step.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// This instance's id.
+    pub fn instance(&self) -> InstanceId {
+        self.inst
+    }
+
+    /// This instance's name.
+    pub fn name(&self) -> &str {
+        &self.meta.name
+    }
+
+    /// Number of connections on a port (0 when left unconnected).
+    pub fn width(&self, port: PortId) -> usize {
+        self.meta.width(port)
+    }
+
+    fn edge(&self, port: PortId, index: usize) -> Option<EdgeId> {
+        self.meta.edges[port.0 as usize].get(index).copied()
+    }
+
+    fn check_dir(&self, port: PortId, want: Dir) -> Result<(), SimError> {
+        let spec = self.meta.spec.port_spec(port);
+        if spec.dir != want {
+            return Err(SimError::port(format!(
+                "{}.{}: wrong direction for this operation",
+                self.meta.name, spec.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// The data wire arriving on an input connection. An unconnected or
+    /// out-of-range slot reads as `No` — the partial-specification default.
+    /// Returns a clone; `Value` payloads are reference counted, so this is
+    /// cheap.
+    pub fn data(&self, port: PortId, index: usize) -> Res<Value> {
+        match self.edge(port, index) {
+            Some(e) => self.signals[e.0 as usize].data.clone(),
+            None => Res::No,
+        }
+    }
+
+    /// The enable wire arriving on an input connection.
+    pub fn enable(&self, port: PortId, index: usize) -> Res<()> {
+        match self.edge(port, index) {
+            Some(e) => self.signals[e.0 as usize].enable.clone(),
+            None => Res::No,
+        }
+    }
+
+    /// The ack wire arriving on an output connection. Unconnected slots
+    /// read as `Yes` (an absent consumer accepts everything).
+    ///
+    /// Reading acks reactively requires the template to declare
+    /// [`ModuleSpec::with_ack_in_react`]; otherwise the kernel does not
+    /// re-wake this module when acks resolve, and the read would be racy.
+    pub fn ack(&self, port: PortId, index: usize) -> Result<Res<()>, SimError> {
+        if !self.meta.spec.reads_ack_in_react {
+            return Err(SimError::contract(format!(
+                "{} ({}): react reads an ack wire but the template did not \
+                 declare with_ack_in_react()",
+                self.meta.name, self.meta.spec.template
+            )));
+        }
+        Ok(match self.edge(port, index) {
+            Some(e) => self.signals[e.0 as usize].ack.clone(),
+            None => Res::Yes(()),
+        })
+    }
+
+    fn write(
+        &mut self,
+        port: PortId,
+        index: usize,
+        wire: Wire,
+        f: impl FnOnce(&mut SignalState) -> Result<WriteOutcome, SimError>,
+    ) -> Result<(), SimError> {
+        let Some(e) = self.edge(port, index) else {
+            return Ok(()); // unconnected: silently accepted (partial spec)
+        };
+        match f(&mut self.signals[e.0 as usize]) {
+            Ok(WriteOutcome::NewlyResolved) => {
+                self.newly.push((e, wire));
+                Ok(())
+            }
+            Ok(WriteOutcome::Idempotent) => Ok(()),
+            Err(err) => Err(SimError::contract(format!(
+                "{} ({}): {err}",
+                self.meta.name, self.meta.spec.template
+            ))),
+        }
+    }
+
+    /// Send a value on an output connection: drives data `Yes` and enable
+    /// `Yes` together (the common case).
+    pub fn send(&mut self, port: PortId, index: usize, v: Value) -> Result<(), SimError> {
+        self.check_dir(port, Dir::Out)?;
+        self.write(port, index, Wire::Data, |s| s.write_data(Res::Yes(v)))?;
+        self.write(port, index, Wire::Enable, |s| s.write_enable(Res::Yes(())))
+    }
+
+    /// Explicitly send nothing on an output connection this time-step:
+    /// drives data `No` and enable `No`. Well-behaved modules resolve every
+    /// connected output rather than leaving it to the defaults.
+    pub fn send_nothing(&mut self, port: PortId, index: usize) -> Result<(), SimError> {
+        self.check_dir(port, Dir::Out)?;
+        self.write(port, index, Wire::Data, |s| s.write_data(Res::No))?;
+        self.write(port, index, Wire::Enable, |s| s.write_enable(Res::No))
+    }
+
+    /// Drive only the data wire (control-split protocols that decide enable
+    /// separately).
+    pub fn set_data(&mut self, port: PortId, index: usize, v: Res<Value>) -> Result<(), SimError> {
+        self.check_dir(port, Dir::Out)?;
+        self.write(port, index, Wire::Data, |s| s.write_data(v))
+    }
+
+    /// Drive only the enable wire.
+    pub fn set_enable(&mut self, port: PortId, index: usize, en: bool) -> Result<(), SimError> {
+        self.check_dir(port, Dir::Out)?;
+        let r = if en { Res::Yes(()) } else { Res::No };
+        self.write(port, index, Wire::Enable, |s| s.write_enable(r))
+    }
+
+    /// Drive the ack wire of an input connection: accept (`true`) or
+    /// refuse (`false`) the offered data.
+    pub fn set_ack(&mut self, port: PortId, index: usize, accept: bool) -> Result<(), SimError> {
+        self.check_dir(port, Dir::In)?;
+        let r = if accept { Res::Yes(()) } else { Res::No };
+        self.write(port, index, Wire::Ack, |s| s.write_ack(r))
+    }
+
+    /// Add to one of this instance's counters.
+    pub fn count(&mut self, name: &'static str, by: u64) {
+        self.stats.count(self.inst, name, by);
+    }
+
+    /// Record a sample on one of this instance's sampled stats.
+    pub fn sample(&mut self, name: &'static str, v: f64) {
+        self.stats.sample(self.inst, name, v);
+    }
+}
+
+/// Context handed to [`Module::commit`]: read-only access to the fully
+/// resolved signals of the time-step, plus statistics.
+pub struct CommitCtx<'a> {
+    inst: InstanceId,
+    meta: &'a InstanceMeta,
+    signals: &'a [SignalState],
+    stats: &'a mut Stats,
+    now: u64,
+}
+
+impl<'a> CommitCtx<'a> {
+    /// Current time-step.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// This instance's id.
+    pub fn instance(&self) -> InstanceId {
+        self.inst
+    }
+
+    /// This instance's name.
+    pub fn name(&self) -> &str {
+        &self.meta.name
+    }
+
+    /// Number of connections on a port.
+    pub fn width(&self, port: PortId) -> usize {
+        self.meta.width(port)
+    }
+
+    fn edge(&self, port: PortId, index: usize) -> Option<EdgeId> {
+        self.meta.edges[port.0 as usize].get(index).copied()
+    }
+
+    /// The value transferred in on an input connection this time-step
+    /// (data present, enabled and accepted), if any. Returns a clone;
+    /// `Value` payloads are reference counted, so this is cheap.
+    pub fn transferred_in(&self, port: PortId, index: usize) -> Option<Value> {
+        let e = self.edge(port, index)?;
+        self.signals[e.0 as usize].transferred().cloned()
+    }
+
+    /// True iff the value this instance sent on an output connection was
+    /// accepted (the transfer completed). An unconnected slot reads as
+    /// `true` — the partial-specification default is that an absent
+    /// consumer accepts everything — so this is only meaningful when the
+    /// module actually offered something this cycle.
+    pub fn transferred_out(&self, port: PortId, index: usize) -> bool {
+        match self.edge(port, index) {
+            Some(e) => self.signals[e.0 as usize].transfers(),
+            None => true,
+        }
+    }
+
+    /// Final resolution of the data wire on an input connection (a clone).
+    pub fn data(&self, port: PortId, index: usize) -> Res<Value> {
+        match self.edge(port, index) {
+            Some(e) => self.signals[e.0 as usize].data.clone(),
+            None => Res::No,
+        }
+    }
+
+    /// Final resolution of the ack wire on an output connection.
+    pub fn acked(&self, port: PortId, index: usize) -> bool {
+        match self.edge(port, index) {
+            Some(e) => self.signals[e.0 as usize].ack.is_yes(),
+            None => true,
+        }
+    }
+
+    /// Add to one of this instance's counters.
+    pub fn count(&mut self, name: &'static str, by: u64) {
+        self.stats.count(self.inst, name, by);
+    }
+
+    /// Record a sample on one of this instance's sampled stats.
+    pub fn sample(&mut self, name: &'static str, v: f64) {
+        self.stats.sample(self.inst, name, v);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error types for netlist construction, elaboration and simulation.
+
+use std::fmt;
+
+/// Any error produced by the kernel or by a module during simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A module violated the three-signal communication contract
+    /// (non-monotonic write, drive of a wire it does not own, ...).
+    Contract(String),
+    /// A port name or index did not resolve against a module's spec.
+    Port(String),
+    /// Netlist construction error: width/direction/connectivity problems.
+    Netlist(String),
+    /// A module received a value of an unexpected dynamic type.
+    Type(String),
+    /// A template parameter was missing or had the wrong type.
+    Param(String),
+    /// Specification elaboration error (LSS front end).
+    Elab(String),
+    /// A module reported a model-level failure.
+    Model(String),
+}
+
+impl SimError {
+    /// Construct a contract-violation error.
+    pub fn contract(msg: impl Into<String>) -> Self {
+        SimError::Contract(msg.into())
+    }
+
+    /// Construct a port-resolution error.
+    pub fn port(msg: impl Into<String>) -> Self {
+        SimError::Port(msg.into())
+    }
+
+    /// Construct a netlist-construction error.
+    pub fn netlist(msg: impl Into<String>) -> Self {
+        SimError::Netlist(msg.into())
+    }
+
+    /// Construct a dynamic-type error.
+    pub fn type_err(msg: impl Into<String>) -> Self {
+        SimError::Type(msg.into())
+    }
+
+    /// Construct a parameter error.
+    pub fn param(msg: impl Into<String>) -> Self {
+        SimError::Param(msg.into())
+    }
+
+    /// Construct an elaboration error.
+    pub fn elab(msg: impl Into<String>) -> Self {
+        SimError::Elab(msg.into())
+    }
+
+    /// Construct a model-level error.
+    pub fn model(msg: impl Into<String>) -> Self {
+        SimError::Model(msg.into())
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Contract(m) => write!(f, "contract violation: {m}"),
+            SimError::Port(m) => write!(f, "port error: {m}"),
+            SimError::Netlist(m) => write!(f, "netlist error: {m}"),
+            SimError::Type(m) => write!(f, "type error: {m}"),
+            SimError::Param(m) => write!(f, "parameter error: {m}"),
+            SimError::Elab(m) => write!(f, "elaboration error: {m}"),
+            SimError::Model(m) => write!(f, "model error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category() {
+        assert!(SimError::contract("x").to_string().contains("contract"));
+        assert!(SimError::port("x").to_string().contains("port"));
+        assert!(SimError::netlist("x").to_string().contains("netlist"));
+        assert!(SimError::type_err("x").to_string().contains("type"));
+        assert!(SimError::param("x").to_string().contains("parameter"));
+        assert!(SimError::elab("x").to_string().contains("elaboration"));
+        assert!(SimError::model("x").to_string().contains("model"));
+    }
+}

@@ -1,0 +1,88 @@
+//! # liberty-core
+//!
+//! The simulation kernel of a Rust reproduction of the **Liberty Simulation
+//! Environment** (August, Malik, Peh, Pai — *Achieving Structural and
+//! Composable Modeling of Complex Systems*, IPDPS 2004).
+//!
+//! LSE builds executable simulators from *structural* descriptions:
+//! customized instances of reusable module templates, connected by ports.
+//! This crate provides everything below the component libraries:
+//!
+//! * [`value::Value`] — the dynamic payload type that makes modules from
+//!   different domains connectable without prior planning;
+//! * [`signal`] — the three-signal (data/enable/ack) connection contract
+//!   with monotonic within-time-step resolution;
+//! * [`module`] — the two-phase (`react`/`commit`) concurrent module trait
+//!   and port/template specifications;
+//! * [`netlist`] — validated flat netlists built by hand or by the LSS
+//!   elaborator (`liberty-lss`);
+//! * [`engine`] — the constructed simulator: fixed-point reaction phase,
+//!   default control semantics for partial specifications, commit phase;
+//! * [`sched`] — the static netlist analysis that accelerates the reaction
+//!   phase (paper ref [22]);
+//! * [`params`] / [`registry`] — algorithmic parameters and the template
+//!   registry the component libraries populate.
+//!
+//! ## A two-module simulator in a dozen lines
+//!
+//! ```
+//! use liberty_core::prelude::*;
+//!
+//! // A source that sends its cycle number, and a sink that sums words.
+//! struct Src;
+//! impl Module for Src {
+//!     fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+//!         ctx.send(PortId(0), 0, Value::Word(ctx.now()))
+//!     }
+//!     fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> { Ok(()) }
+//! }
+//! struct Sink { total: u64 }
+//! impl Module for Sink {
+//!     fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+//!         ctx.set_ack(PortId(0), 0, true)
+//!     }
+//!     fn commit(&mut self, ctx: &mut CommitCtx<'_>) -> Result<(), SimError> {
+//!         if let Some(v) = ctx.transferred_in(PortId(0), 0) {
+//!             self.total += v.as_word().unwrap_or(0);
+//!             ctx.count("received", 1);
+//!         }
+//!         Ok(())
+//!     }
+//! }
+//!
+//! let mut b = NetlistBuilder::new();
+//! let src = b.add("src", ModuleSpec::new("src").output("out", 1, 1), Box::new(Src)).unwrap();
+//! let snk = b.add("snk", ModuleSpec::new("sink").input("in", 1, 1), Box::new(Sink { total: 0 })).unwrap();
+//! b.connect(src, "out", snk, "in").unwrap();
+//! let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+//! sim.run(4).unwrap();
+//! assert_eq!(sim.stats().counter(snk, "received"), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod module;
+pub mod netlist;
+pub mod params;
+pub mod registry;
+pub mod sched;
+pub mod signal;
+pub mod stats;
+pub mod trace;
+pub mod value;
+
+/// Convenience re-exports for module and system authors.
+pub mod prelude {
+    pub use crate::engine::{CommitCtx, EngineMetrics, ReactCtx, SchedKind, Simulator, Tracer};
+    pub use crate::error::SimError;
+    pub use crate::module::{Dir, Module, ModuleSpec, PortId, PortSpec};
+    pub use crate::netlist::{EdgeId, Endpoint, InstanceId, Netlist, NetlistBuilder};
+    pub use crate::params::{ParamValue, Params};
+    pub use crate::registry::{Instantiated, Registry, Template};
+    pub use crate::signal::{Res, SignalState, Wire};
+    pub use crate::stats::{Sample, Stats, StatsReport};
+    pub use crate::trace::{RecordingTracer, TextTracer, TraceEvent, TraceHandle};
+    pub use crate::value::Value;
+}

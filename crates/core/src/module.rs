@@ -1,0 +1,178 @@
+//! Module templates, port specifications and the two-phase `Module` trait.
+//!
+//! An LSE module instance executes *concurrently* with all other instances
+//! (paper §2.1): the kernel invokes its [`Module::react`] handler whenever
+//! more of its inputs resolve within the current time-step, and its
+//! [`Module::commit`] handler exactly once at the end of the time-step.
+//!
+//! The contract modules must follow:
+//!
+//! * `react` may be invoked several times per time-step. It must be
+//!   *monotone*: look at the currently resolved signals and drive whatever
+//!   outputs are determined by them; never retract a driven wire; never
+//!   guess the value of an `Unknown` wire. Internal state must **not** be
+//!   mutated in `react`.
+//! * `commit` runs once, after every wire has resolved (explicitly or by
+//!   the default control semantics). All internal state updates — queue
+//!   pushes/pops, register writes, statistics — belong here.
+
+use crate::engine::{CommitCtx, ReactCtx};
+use crate::error::SimError;
+
+/// Direction of a port, from the owning module's perspective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Data and enable arrive; the module drives ack.
+    In,
+    /// The module drives data and enable; ack arrives.
+    Out,
+}
+
+/// Index of a port within its module's [`ModuleSpec`].
+///
+/// Library modules build their own specs, so they know port indices
+/// statically and can store them in `const`s for allocation-free access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PortId(pub u16);
+
+/// Static description of one port of a module template.
+#[derive(Clone, Debug)]
+pub struct PortSpec {
+    /// Port name, used by specifications and diagnostics.
+    pub name: String,
+    /// Port direction.
+    pub dir: Dir,
+    /// Minimum number of connections required for a valid netlist.
+    /// `0` means the port may be left unconnected (partial specification).
+    pub min_conns: u32,
+    /// Maximum number of connections allowed (`u32::MAX` = unbounded).
+    pub max_conns: u32,
+}
+
+/// Static description of a module template instance: its ports plus the
+/// scheduling declarations used by the optimizing static scheduler
+/// (paper ref [22]).
+#[derive(Clone, Debug)]
+pub struct ModuleSpec {
+    /// Template name this instance was created from.
+    pub template: String,
+    /// All ports, in declaration order ([`PortId`] indexes this).
+    pub ports: Vec<PortSpec>,
+    /// True if the module's `react` handler reads ack wires on its output
+    /// ports (rare). When false, ack dependencies are excluded from the
+    /// static schedule's dependency graph, breaking most cycles.
+    pub reads_ack_in_react: bool,
+}
+
+impl ModuleSpec {
+    /// Start a spec for the named template.
+    pub fn new(template: impl Into<String>) -> Self {
+        ModuleSpec {
+            template: template.into(),
+            ports: Vec::new(),
+            reads_ack_in_react: false,
+        }
+    }
+
+    /// Add an input port; returns `self` for chaining. Ports get sequential
+    /// [`PortId`]s in declaration order.
+    pub fn input(mut self, name: &str, min_conns: u32, max_conns: u32) -> Self {
+        self.ports.push(PortSpec {
+            name: name.to_owned(),
+            dir: Dir::In,
+            min_conns,
+            max_conns,
+        });
+        self
+    }
+
+    /// Add an output port; returns `self` for chaining.
+    pub fn output(mut self, name: &str, min_conns: u32, max_conns: u32) -> Self {
+        self.ports.push(PortSpec {
+            name: name.to_owned(),
+            dir: Dir::Out,
+            min_conns,
+            max_conns,
+        });
+        self
+    }
+
+    /// Declare that `react` reads ack wires (forces conservative ack
+    /// dependencies in the static schedule).
+    pub fn with_ack_in_react(mut self) -> Self {
+        self.reads_ack_in_react = true;
+        self
+    }
+
+    /// Resolve a port name to its id.
+    pub fn port(&self, name: &str) -> Result<PortId, SimError> {
+        self.ports
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| PortId(i as u16))
+            .ok_or_else(|| {
+                SimError::port(format!(
+                    "template {:?} has no port {:?} (has: {})",
+                    self.template,
+                    name,
+                    self.ports
+                        .iter()
+                        .map(|p| p.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })
+    }
+
+    /// The spec of a port by id. Panics on an out-of-range id (ids are
+    /// library-internal constants, so this indicates a library bug).
+    pub fn port_spec(&self, id: PortId) -> &PortSpec {
+        &self.ports[id.0 as usize]
+    }
+}
+
+/// A concurrently executing hardware model component.
+///
+/// See the module-level documentation for the two-phase contract.
+pub trait Module: Send {
+    /// Reactive handler: runs one or more times per time-step as inputs
+    /// resolve. Drive outputs; do not mutate state.
+    fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError>;
+
+    /// Commit handler: runs once per time-step after full resolution.
+    /// Mutate state based on completed transfers.
+    fn commit(&mut self, ctx: &mut CommitCtx<'_>) -> Result<(), SimError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder_assigns_sequential_ids() {
+        let spec = ModuleSpec::new("t")
+            .input("a", 1, 1)
+            .output("b", 0, u32::MAX)
+            .input("c", 0, 4);
+        assert_eq!(spec.port("a").unwrap(), PortId(0));
+        assert_eq!(spec.port("b").unwrap(), PortId(1));
+        assert_eq!(spec.port("c").unwrap(), PortId(2));
+        assert_eq!(spec.port_spec(PortId(1)).dir, Dir::Out);
+        assert_eq!(spec.port_spec(PortId(2)).max_conns, 4);
+    }
+
+    #[test]
+    fn unknown_port_reports_candidates() {
+        let spec = ModuleSpec::new("t").input("a", 1, 1);
+        let err = spec.port("zz").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("zz") && msg.contains('a'));
+    }
+
+    #[test]
+    fn ack_in_react_flag() {
+        let spec = ModuleSpec::new("t").with_ack_in_react();
+        assert!(spec.reads_ack_in_react);
+        assert!(!ModuleSpec::new("t").reads_ack_in_react);
+    }
+}

@@ -1,0 +1,307 @@
+//! Flat netlists: customized module instances plus their interconnections.
+//!
+//! This is the output of elaboration (the LSS front end flattens hierarchy
+//! into this form) and the input of the simulator constructor. Building a
+//! netlist is separate from running it so that construction errors —
+//! dangling required ports, direction mismatches, over-connected ports —
+//! surface before the first cycle, with structural diagnostics.
+
+use crate::error::SimError;
+use crate::module::{Dir, Module, ModuleSpec, PortId};
+use std::collections::HashMap;
+
+/// Identifier of an instance within a netlist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(pub u32);
+
+/// Identifier of a connection (one three-wire bundle) within a netlist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeId(pub u32);
+
+/// One end of a connection: an indexed slot of a port of an instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Endpoint {
+    /// The instance owning the port.
+    pub inst: InstanceId,
+    /// The port on that instance.
+    pub port: PortId,
+    /// Connection index within the port (ports scale bandwidth by taking
+    /// multiple connections, paper §2.1).
+    pub index: u32,
+}
+
+/// Static metadata of one connection.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeMeta {
+    /// Sender side (an output port slot).
+    pub src: Endpoint,
+    /// Receiver side (an input port slot).
+    pub dst: Endpoint,
+}
+
+/// Static metadata of one instance: name, spec, and per-port edge lists.
+#[derive(Debug)]
+pub struct InstanceMeta {
+    /// Hierarchical instance name (dotted path after elaboration).
+    pub name: String,
+    /// The instance's customized template spec.
+    pub spec: ModuleSpec,
+    /// For each port (by [`PortId`] index), the edges attached, in
+    /// connection-index order.
+    pub edges: Vec<Vec<EdgeId>>,
+}
+
+impl InstanceMeta {
+    /// Number of connections attached to a port.
+    pub fn width(&self, port: PortId) -> usize {
+        self.edges[port.0 as usize].len()
+    }
+}
+
+/// A complete, validated netlist ready for simulator construction.
+pub struct Netlist {
+    /// Instance metadata, indexed by [`InstanceId`].
+    pub instances: Vec<InstanceMeta>,
+    /// The module behaviours, parallel to `instances`.
+    pub modules: Vec<Box<dyn Module>>,
+    /// Connection metadata, indexed by [`EdgeId`].
+    pub edges: Vec<EdgeMeta>,
+}
+
+impl Netlist {
+    /// Look up an instance id by name.
+    pub fn instance_by_name(&self, name: &str) -> Option<InstanceId> {
+        self.instances
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| InstanceId(i as u32))
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True when the netlist has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+/// Incrementally builds a [`Netlist`], validating as it goes.
+#[derive(Default)]
+pub struct NetlistBuilder {
+    instances: Vec<InstanceMeta>,
+    modules: Vec<Box<dyn Module>>,
+    edges: Vec<EdgeMeta>,
+    by_name: HashMap<String, InstanceId>,
+}
+
+impl NetlistBuilder {
+    /// Start an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an instance with a unique name. Returns its id.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        spec: ModuleSpec,
+        module: Box<dyn Module>,
+    ) -> Result<InstanceId, SimError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(SimError::netlist(format!("duplicate instance name {name:?}")));
+        }
+        let id = InstanceId(self.instances.len() as u32);
+        let edges = vec![Vec::new(); spec.ports.len()];
+        self.by_name.insert(name.clone(), id);
+        self.instances.push(InstanceMeta { name, spec, edges });
+        self.modules.push(module);
+        Ok(id)
+    }
+
+    /// Look up a previously added instance by name.
+    pub fn lookup(&self, name: &str) -> Option<InstanceId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Borrow an instance's spec (e.g. to resolve port names).
+    pub fn spec(&self, inst: InstanceId) -> &ModuleSpec {
+        &self.instances[inst.0 as usize].spec
+    }
+
+    /// Connect the next free slot of `src`'s output port `src_port` to the
+    /// next free slot of `dst`'s input port `dst_port`. Port names are
+    /// resolved against the instances' specs; directions are checked.
+    pub fn connect(
+        &mut self,
+        src: InstanceId,
+        src_port: &str,
+        dst: InstanceId,
+        dst_port: &str,
+    ) -> Result<EdgeId, SimError> {
+        let sp = self.instances[src.0 as usize].spec.port(src_port)?;
+        let dp = self.instances[dst.0 as usize].spec.port(dst_port)?;
+        self.connect_ids(src, sp, dst, dp)
+    }
+
+    /// [`NetlistBuilder::connect`] with pre-resolved port ids.
+    pub fn connect_ids(
+        &mut self,
+        src: InstanceId,
+        src_port: PortId,
+        dst: InstanceId,
+        dst_port: PortId,
+    ) -> Result<EdgeId, SimError> {
+        {
+            let sm = &self.instances[src.0 as usize];
+            let ps = sm.spec.port_spec(src_port);
+            if ps.dir != Dir::Out {
+                return Err(SimError::netlist(format!(
+                    "{}.{} is not an output port",
+                    sm.name, ps.name
+                )));
+            }
+        }
+        {
+            let dm = &self.instances[dst.0 as usize];
+            let pd = dm.spec.port_spec(dst_port);
+            if pd.dir != Dir::In {
+                return Err(SimError::netlist(format!(
+                    "{}.{} is not an input port",
+                    dm.name, pd.name
+                )));
+            }
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        let src_index = self.instances[src.0 as usize].edges[src_port.0 as usize].len() as u32;
+        let dst_index = self.instances[dst.0 as usize].edges[dst_port.0 as usize].len() as u32;
+        self.edges.push(EdgeMeta {
+            src: Endpoint {
+                inst: src,
+                port: src_port,
+                index: src_index,
+            },
+            dst: Endpoint {
+                inst: dst,
+                port: dst_port,
+                index: dst_index,
+            },
+        });
+        self.instances[src.0 as usize].edges[src_port.0 as usize].push(id);
+        self.instances[dst.0 as usize].edges[dst_port.0 as usize].push(id);
+        Ok(id)
+    }
+
+    /// Validate connection-count constraints and produce the netlist.
+    pub fn build(self) -> Result<Netlist, SimError> {
+        for inst in &self.instances {
+            for (pi, port) in inst.spec.ports.iter().enumerate() {
+                let n = inst.edges[pi].len() as u32;
+                if n < port.min_conns {
+                    return Err(SimError::netlist(format!(
+                        "{}.{}: has {} connection(s), needs at least {}",
+                        inst.name, port.name, n, port.min_conns
+                    )));
+                }
+                if n > port.max_conns {
+                    return Err(SimError::netlist(format!(
+                        "{}.{}: has {} connection(s), allows at most {}",
+                        inst.name, port.name, n, port.max_conns
+                    )));
+                }
+            }
+        }
+        Ok(Netlist {
+            instances: self.instances,
+            modules: self.modules,
+            edges: self.edges,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CommitCtx, ReactCtx};
+
+    struct Nop;
+    impl Module for Nop {
+        fn react(&mut self, _: &mut ReactCtx<'_>) -> Result<(), SimError> {
+            Ok(())
+        }
+        fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+            Ok(())
+        }
+    }
+
+    fn spec_src() -> ModuleSpec {
+        ModuleSpec::new("src").output("out", 0, u32::MAX)
+    }
+    fn spec_sink() -> ModuleSpec {
+        ModuleSpec::new("sink").input("in", 1, 2)
+    }
+
+    #[test]
+    fn connect_assigns_slots_in_order() {
+        let mut b = NetlistBuilder::new();
+        let s = b.add("s", spec_src(), Box::new(Nop)).unwrap();
+        let k = b.add("k", spec_sink(), Box::new(Nop)).unwrap();
+        let e0 = b.connect(s, "out", k, "in").unwrap();
+        let e1 = b.connect(s, "out", k, "in").unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(net.edges[e0.0 as usize].src.index, 0);
+        assert_eq!(net.edges[e1.0 as usize].src.index, 1);
+        assert_eq!(net.edges[e1.0 as usize].dst.index, 1);
+        assert_eq!(net.instances[k.0 as usize].width(PortId(0)), 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = NetlistBuilder::new();
+        b.add("x", spec_src(), Box::new(Nop)).unwrap();
+        assert!(b.add("x", spec_src(), Box::new(Nop)).is_err());
+    }
+
+    #[test]
+    fn direction_mismatch_rejected() {
+        let mut b = NetlistBuilder::new();
+        let s = b.add("s", spec_src(), Box::new(Nop)).unwrap();
+        let k = b.add("k", spec_sink(), Box::new(Nop)).unwrap();
+        assert!(b.connect(k, "in", s, "out").is_err());
+    }
+
+    #[test]
+    fn min_conns_enforced() {
+        let mut b = NetlistBuilder::new();
+        b.add("k", spec_sink(), Box::new(Nop)).unwrap();
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn max_conns_enforced() {
+        let mut b = NetlistBuilder::new();
+        let s = b.add("s", spec_src(), Box::new(Nop)).unwrap();
+        let k = b.add("k", spec_sink(), Box::new(Nop)).unwrap();
+        for _ in 0..3 {
+            b.connect(s, "out", k, "in").unwrap();
+        }
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut b = NetlistBuilder::new();
+        let s = b.add("s", spec_src(), Box::new(Nop)).unwrap();
+        assert_eq!(b.lookup("s"), Some(s));
+        assert_eq!(b.lookup("nope"), None);
+        let k = b.add("k", spec_sink(), Box::new(Nop)).unwrap();
+        b.connect(s, "out", k, "in").unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(net.instance_by_name("k"), Some(k));
+        assert_eq!(net.len(), 2);
+        assert!(!net.is_empty());
+    }
+}

@@ -1,0 +1,289 @@
+//! Algorithmic parameters (paper §2.1).
+//!
+//! LSE components are customized through *algorithmic parameters*:
+//! parameter values that describe functionality (an arbitration policy, a
+//! replacement policy, a latency). A module template inherits its overall
+//! behaviour and adapts the specifics per instance through its [`Params`].
+
+use crate::error::SimError;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One parameter value. `List` supports per-connection parameters; `Str`
+/// supports policy selectors ("round_robin", "lru", ...).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ParamValue {
+    /// An integer parameter (sizes, latencies, widths).
+    Int(i64),
+    /// A floating-point parameter (rates, probabilities, coefficients).
+    Float(f64),
+    /// A boolean parameter (feature switches).
+    Bool(bool),
+    /// A string parameter (policy and algorithm selectors).
+    Str(String),
+    /// A list parameter (per-port or per-connection values).
+    List(Vec<ParamValue>),
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Int(i) => write!(f, "{i}"),
+            ParamValue::Float(x) => write!(f, "{x}"),
+            ParamValue::Bool(b) => write!(f, "{b}"),
+            ParamValue::Str(s) => write!(f, "{s:?}"),
+            ParamValue::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<i64> for ParamValue {
+    fn from(v: i64) -> Self {
+        ParamValue::Int(v)
+    }
+}
+impl From<usize> for ParamValue {
+    fn from(v: usize) -> Self {
+        ParamValue::Int(v as i64)
+    }
+}
+impl From<f64> for ParamValue {
+    fn from(v: f64) -> Self {
+        ParamValue::Float(v)
+    }
+}
+impl From<bool> for ParamValue {
+    fn from(v: bool) -> Self {
+        ParamValue::Bool(v)
+    }
+}
+impl From<&str> for ParamValue {
+    fn from(v: &str) -> Self {
+        ParamValue::Str(v.to_owned())
+    }
+}
+impl From<String> for ParamValue {
+    fn from(v: String) -> Self {
+        ParamValue::Str(v)
+    }
+}
+
+/// A set of named parameter values customizing one module instance.
+///
+/// Getters come in two forms: `get_*` (error if absent) and `*_or`
+/// (template-provided default if absent). Absent-with-default is the normal
+/// case — the paper's templates ship usable defaults so a minimal
+/// specification works out of the box.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Params {
+    values: BTreeMap<String, ParamValue>,
+}
+
+impl Params {
+    /// An empty parameter set (all defaults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insertion.
+    pub fn with(mut self, key: &str, value: impl Into<ParamValue>) -> Self {
+        self.values.insert(key.to_owned(), value.into());
+        self
+    }
+
+    /// Insert or replace a parameter.
+    pub fn set(&mut self, key: &str, value: impl Into<ParamValue>) {
+        self.values.insert(key.to_owned(), value.into());
+    }
+
+    /// Raw access to a parameter value.
+    pub fn get(&self, key: &str) -> Option<&ParamValue> {
+        self.values.get(key)
+    }
+
+    /// True if the parameter is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+
+    /// Iterate over all `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ParamValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of explicitly set parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no parameters are explicitly set.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// An integer parameter, with a default.
+    pub fn int_or(&self, key: &str, default: i64) -> Result<i64, SimError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(ParamValue::Int(i)) => Ok(*i),
+            Some(other) => Err(SimError::param(format!(
+                "parameter {key:?}: expected int, got {other}"
+            ))),
+        }
+    }
+
+    /// A non-negative integer parameter as `usize`, with a default.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, SimError> {
+        let v = self.int_or(key, default as i64)?;
+        usize::try_from(v)
+            .map_err(|_| SimError::param(format!("parameter {key:?}: expected non-negative, got {v}")))
+    }
+
+    /// A float parameter, with a default. Integer values are widened.
+    pub fn float_or(&self, key: &str, default: f64) -> Result<f64, SimError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(ParamValue::Float(f)) => Ok(*f),
+            Some(ParamValue::Int(i)) => Ok(*i as f64),
+            Some(other) => Err(SimError::param(format!(
+                "parameter {key:?}: expected float, got {other}"
+            ))),
+        }
+    }
+
+    /// A boolean parameter, with a default.
+    pub fn bool_or(&self, key: &str, default: bool) -> Result<bool, SimError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(ParamValue::Bool(b)) => Ok(*b),
+            Some(other) => Err(SimError::param(format!(
+                "parameter {key:?}: expected bool, got {other}"
+            ))),
+        }
+    }
+
+    /// A string parameter, with a default.
+    pub fn str_or(&self, key: &str, default: &str) -> Result<String, SimError> {
+        match self.values.get(key) {
+            None => Ok(default.to_owned()),
+            Some(ParamValue::Str(s)) => Ok(s.clone()),
+            Some(other) => Err(SimError::param(format!(
+                "parameter {key:?}: expected string, got {other}"
+            ))),
+        }
+    }
+
+    /// A list parameter; absent means empty.
+    pub fn list_or_empty(&self, key: &str) -> Result<&[ParamValue], SimError> {
+        match self.values.get(key) {
+            None => Ok(&[]),
+            Some(ParamValue::List(l)) => Ok(l),
+            Some(other) => Err(SimError::param(format!(
+                "parameter {key:?}: expected list, got {other}"
+            ))),
+        }
+    }
+
+    /// A required integer parameter.
+    pub fn require_int(&self, key: &str) -> Result<i64, SimError> {
+        match self.values.get(key) {
+            Some(ParamValue::Int(i)) => Ok(*i),
+            Some(other) => Err(SimError::param(format!(
+                "parameter {key:?}: expected int, got {other}"
+            ))),
+            None => Err(SimError::param(format!("missing required parameter {key:?}"))),
+        }
+    }
+
+    /// A required string parameter.
+    pub fn require_str(&self, key: &str) -> Result<String, SimError> {
+        match self.values.get(key) {
+            Some(ParamValue::Str(s)) => Ok(s.clone()),
+            Some(other) => Err(SimError::param(format!(
+                "parameter {key:?}: expected string, got {other}"
+            ))),
+            None => Err(SimError::param(format!("missing required parameter {key:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let p = Params::new();
+        assert_eq!(p.int_or("depth", 8).unwrap(), 8);
+        assert_eq!(p.bool_or("bypass", true).unwrap(), true);
+        assert_eq!(p.str_or("policy", "round_robin").unwrap(), "round_robin");
+        assert_eq!(p.float_or("rate", 0.5).unwrap(), 0.5);
+        assert!(p.list_or_empty("weights").unwrap().is_empty());
+    }
+
+    #[test]
+    fn explicit_values_override_defaults() {
+        let p = Params::new()
+            .with("depth", 32i64)
+            .with("policy", "lru")
+            .with("bypass", false)
+            .with("rate", 0.25);
+        assert_eq!(p.int_or("depth", 8).unwrap(), 32);
+        assert_eq!(p.str_or("policy", "rr").unwrap(), "lru");
+        assert!(!p.bool_or("bypass", true).unwrap());
+        assert_eq!(p.float_or("rate", 0.5).unwrap(), 0.25);
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        let p = Params::new().with("depth", "oops");
+        assert!(p.int_or("depth", 8).is_err());
+        assert!(p.usize_or("depth", 8).is_err());
+        let p2 = Params::new().with("flag", 1i64);
+        assert!(p2.bool_or("flag", false).is_err());
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        let p = Params::new().with("rate", 2i64);
+        assert_eq!(p.float_or("rate", 0.0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn negative_usize_rejected() {
+        let p = Params::new().with("depth", -1i64);
+        assert!(p.usize_or("depth", 1).is_err());
+    }
+
+    #[test]
+    fn required_parameters() {
+        let p = Params::new().with("name", "x");
+        assert_eq!(p.require_str("name").unwrap(), "x");
+        assert!(p.require_int("missing").is_err());
+        assert!(p.require_str("missing").is_err());
+    }
+
+    #[test]
+    fn list_parameters() {
+        let p = Params::new().with(
+            "weights",
+            ParamValue::List(vec![ParamValue::Int(1), ParamValue::Int(2)]),
+        );
+        assert_eq!(p.list_or_empty("weights").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn display_roundtrip_shapes() {
+        let v = ParamValue::List(vec![ParamValue::Int(1), ParamValue::Str("a".into())]);
+        assert_eq!(v.to_string(), "[1, \"a\"]");
+    }
+}

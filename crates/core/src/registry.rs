@@ -1,0 +1,245 @@
+//! The module-template registry (paper Fig. 1: "Components for use in LSS").
+//!
+//! Component libraries (PCL, UPL, CCL, MPL, NIL, user-defined) register
+//! their templates here; the LSS elaborator instantiates them by name with
+//! per-instance [`Params`]. A template is a constructor producing a
+//! customized [`ModuleSpec`] (port set may depend on parameters) plus the
+//! module behaviour.
+
+use crate::error::SimError;
+use crate::module::{Dir, Module, ModuleSpec};
+use crate::netlist::{InstanceId, NetlistBuilder};
+use crate::params::Params;
+use std::collections::BTreeMap;
+
+/// Result of instantiating a template: its customized spec and behaviour.
+pub type Instantiated = (ModuleSpec, Box<dyn Module>);
+
+/// Template constructor signature.
+pub type Ctor = Box<dyn Fn(&Params) -> Result<Instantiated, SimError> + Send + Sync>;
+
+/// One externally visible port of a composite template instance: where
+/// connections to `<instance>.<name>` actually land in the flat netlist.
+#[derive(Clone, Debug)]
+pub struct ExportedPort {
+    /// Exported port name.
+    pub name: String,
+    /// The inner leaf instance owning the real port.
+    pub inst: InstanceId,
+    /// The real port's name on that instance.
+    pub port: String,
+    /// Direction, from the composite's perspective.
+    pub dir: Dir,
+}
+
+/// Constructor for a composite (hierarchical) template implemented in
+/// Rust: it adds sub-instances under `prefix` and reports its exported
+/// ports. This is the Rust-side counterpart of an LSS `module` definition
+/// (paper §2.1: new templates from interconnected instances of existing
+/// ones).
+pub type CompositeCtor = Box<
+    dyn Fn(&Params, &mut NetlistBuilder, &str) -> Result<Vec<ExportedPort>, SimError>
+        + Send
+        + Sync,
+>;
+
+enum TemplateKind {
+    Leaf(Ctor),
+    Composite(CompositeCtor),
+}
+
+/// One registered template.
+pub struct Template {
+    /// Template name, as used in LSS `instance x : name`.
+    pub name: String,
+    /// Which library registered it ("pcl", "upl", ...). Used for the reuse
+    /// census of experiment E6.
+    pub library: String,
+    /// One-line description for catalogs and diagnostics.
+    pub doc: String,
+    kind: TemplateKind,
+}
+
+impl Template {
+    /// Instantiate a leaf template with the given parameters. Errors on a
+    /// composite template (those are expanded with
+    /// [`Template::instantiate_composite`]).
+    pub fn instantiate(&self, params: &Params) -> Result<Instantiated, SimError> {
+        match &self.kind {
+            TemplateKind::Leaf(ctor) => ctor(params),
+            TemplateKind::Composite(_) => Err(SimError::elab(format!(
+                "template {:?} is composite; it expands into sub-instances",
+                self.name
+            ))),
+        }
+    }
+
+    /// True for composite (hierarchical) templates.
+    pub fn is_composite(&self) -> bool {
+        matches!(self.kind, TemplateKind::Composite(_))
+    }
+
+    /// Expand a composite template into `builder` under `prefix`,
+    /// returning its exported ports.
+    pub fn instantiate_composite(
+        &self,
+        params: &Params,
+        builder: &mut NetlistBuilder,
+        prefix: &str,
+    ) -> Result<Vec<ExportedPort>, SimError> {
+        match &self.kind {
+            TemplateKind::Composite(ctor) => ctor(params, builder, prefix),
+            TemplateKind::Leaf(_) => Err(SimError::elab(format!(
+                "template {:?} is a leaf, not composite",
+                self.name
+            ))),
+        }
+    }
+}
+
+/// Registry of all module templates available to specifications.
+#[derive(Default)]
+pub struct Registry {
+    templates: BTreeMap<String, Template>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a leaf template. Later registrations of the same name
+    /// replace earlier ones (user templates may shadow library ones).
+    pub fn register(
+        &mut self,
+        library: &str,
+        name: &str,
+        doc: &str,
+        ctor: impl Fn(&Params) -> Result<Instantiated, SimError> + Send + Sync + 'static,
+    ) {
+        self.templates.insert(
+            name.to_owned(),
+            Template {
+                name: name.to_owned(),
+                library: library.to_owned(),
+                doc: doc.to_owned(),
+                kind: TemplateKind::Leaf(Box::new(ctor)),
+            },
+        );
+    }
+
+    /// Register a composite template: a Rust-defined hierarchical module
+    /// that expands into interconnected sub-instances.
+    pub fn register_composite(
+        &mut self,
+        library: &str,
+        name: &str,
+        doc: &str,
+        ctor: impl Fn(&Params, &mut NetlistBuilder, &str) -> Result<Vec<ExportedPort>, SimError>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.templates.insert(
+            name.to_owned(),
+            Template {
+                name: name.to_owned(),
+                library: library.to_owned(),
+                doc: doc.to_owned(),
+                kind: TemplateKind::Composite(Box::new(ctor)),
+            },
+        );
+    }
+
+    /// Look up a template by name.
+    pub fn get(&self, name: &str) -> Result<&Template, SimError> {
+        self.templates.get(name).ok_or_else(|| {
+            SimError::elab(format!(
+                "unknown module template {name:?}; known: {}",
+                self.templates
+                    .keys()
+                    .map(String::as_str)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+    }
+
+    /// Instantiate a template by name.
+    pub fn instantiate(&self, name: &str, params: &Params) -> Result<Instantiated, SimError> {
+        self.get(name)?.instantiate(params)
+    }
+
+    /// Iterate all templates in name order (library catalog, E6 census).
+    pub fn iter(&self) -> impl Iterator<Item = &Template> {
+        self.templates.values()
+    }
+
+    /// Number of registered templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// True when no templates are registered.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CommitCtx, ReactCtx};
+
+    struct Nop;
+    impl Module for Nop {
+        fn react(&mut self, _: &mut ReactCtx<'_>) -> Result<(), SimError> {
+            Ok(())
+        }
+        fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+            Ok(())
+        }
+    }
+
+    fn reg_with_one() -> Registry {
+        let mut r = Registry::new();
+        r.register("pcl", "nop", "does nothing", |_p| {
+            Ok((ModuleSpec::new("nop"), Box::new(Nop) as Box<dyn Module>))
+        });
+        r
+    }
+
+    #[test]
+    fn register_and_instantiate() {
+        let r = reg_with_one();
+        let (spec, _m) = r.instantiate("nop", &Params::new()).unwrap();
+        assert_eq!(spec.template, "nop");
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn unknown_template_lists_known() {
+        let r = reg_with_one();
+        let err = match r.instantiate("mystery", &Params::new()) {
+            Err(e) => e,
+            Ok(_) => panic!("expected error"),
+        };
+        assert!(err.to_string().contains("nop"));
+    }
+
+    #[test]
+    fn later_registration_shadows() {
+        let mut r = reg_with_one();
+        r.register("user", "nop", "custom", |_p| {
+            Ok((
+                ModuleSpec::new("nop2"),
+                Box::new(Nop) as Box<dyn Module>,
+            ))
+        });
+        let (spec, _) = r.instantiate("nop", &Params::new()).unwrap();
+        assert_eq!(spec.template, "nop2");
+        assert_eq!(r.get("nop").unwrap().library, "user");
+    }
+}

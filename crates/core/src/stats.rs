@@ -1,0 +1,221 @@
+//! Statistics collection shared by all modules.
+//!
+//! Modules emit counters and samples through their contexts; the engine
+//! aggregates them per instance. Reports are serializable so the benchmark
+//! harness can regenerate the experiment tables from raw runs.
+
+use crate::netlist::InstanceId;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Running aggregate of a sampled quantity.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Sample {
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Number of samples.
+    pub n: u64,
+    /// Minimum sample seen.
+    pub min: f64,
+    /// Maximum sample seen.
+    pub max: f64,
+}
+
+impl Sample {
+    fn new(v: f64) -> Self {
+        Sample {
+            sum: v,
+            n: 1,
+            min: v,
+            max: v,
+        }
+    }
+
+    fn add(&mut self, v: f64) {
+        self.sum += v;
+        self.n += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Arithmetic mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+}
+
+/// Per-run statistics store, keyed by `(instance, stat name)`.
+///
+/// Stat names are `&'static str` so the hot increment path does no
+/// allocation.
+#[derive(Default, Debug)]
+pub struct Stats {
+    counters: HashMap<(u32, &'static str), u64>,
+    samples: HashMap<(u32, &'static str), Sample>,
+}
+
+impl Stats {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to a counter of an instance. Wrapping, so counters can be
+    /// used as order-independent checksums of arbitrary word streams.
+    pub fn count(&mut self, inst: InstanceId, name: &'static str, by: u64) {
+        let c = self.counters.entry((inst.0, name)).or_insert(0);
+        *c = c.wrapping_add(by);
+    }
+
+    /// Record one sample of a quantity of an instance.
+    pub fn sample(&mut self, inst: InstanceId, name: &'static str, v: f64) {
+        self.samples
+            .entry((inst.0, name))
+            .and_modify(|s| s.add(v))
+            .or_insert_with(|| Sample::new(v));
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, inst: InstanceId, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|((i, n), _)| *i == inst.0 && *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Current aggregate of a sampled quantity, if any samples were taken.
+    pub fn get_sample(&self, inst: InstanceId, name: &str) -> Option<Sample> {
+        self.samples
+            .iter()
+            .find(|((i, n), _)| *i == inst.0 && *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Sum of a counter across all instances (e.g. total retired
+    /// instructions over every core).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((_, n), _)| *n == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Merge all samples of one stat name across instances.
+    pub fn sample_total(&self, name: &str) -> Option<Sample> {
+        let mut acc: Option<Sample> = None;
+        for ((_, n), s) in &self.samples {
+            if *n == name {
+                match &mut acc {
+                    None => acc = Some(*s),
+                    Some(a) => {
+                        a.sum += s.sum;
+                        a.n += s.n;
+                        a.min = a.min.min(s.min);
+                        a.max = a.max.max(s.max);
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// Produce a human/machine-readable report keyed by instance name.
+    pub fn report(&self, names: &[String]) -> StatsReport {
+        let mut counters = BTreeMap::new();
+        let mut samples = BTreeMap::new();
+        for ((i, n), v) in &self.counters {
+            let inst = names
+                .get(*i as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("#{i}"));
+            counters.insert(format!("{inst}.{n}"), *v);
+        }
+        for ((i, n), s) in &self.samples {
+            let inst = names
+                .get(*i as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("#{i}"));
+            samples.insert(format!("{inst}.{n}"), *s);
+        }
+        StatsReport { counters, samples }
+    }
+}
+
+/// Flattened, serializable statistics report.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct StatsReport {
+    /// `instance.stat -> count`.
+    pub counters: BTreeMap<String, u64>,
+    /// `instance.stat -> aggregate`.
+    pub samples: BTreeMap<String, Sample>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        let i = InstanceId(0);
+        s.count(i, "retired", 3);
+        s.count(i, "retired", 2);
+        assert_eq!(s.counter(i, "retired"), 5);
+        assert_eq!(s.counter(i, "absent"), 0);
+    }
+
+    #[test]
+    fn samples_track_min_max_mean() {
+        let mut s = Stats::new();
+        let i = InstanceId(1);
+        s.sample(i, "lat", 4.0);
+        s.sample(i, "lat", 8.0);
+        let a = s.get_sample(i, "lat").unwrap();
+        assert_eq!(a.n, 2);
+        assert_eq!(a.min, 4.0);
+        assert_eq!(a.max, 8.0);
+        assert_eq!(a.mean(), 6.0);
+    }
+
+    #[test]
+    fn totals_merge_across_instances() {
+        let mut s = Stats::new();
+        s.count(InstanceId(0), "retired", 10);
+        s.count(InstanceId(1), "retired", 20);
+        s.count(InstanceId(1), "other", 5);
+        assert_eq!(s.counter_total("retired"), 30);
+        s.sample(InstanceId(0), "lat", 1.0);
+        s.sample(InstanceId(1), "lat", 3.0);
+        let t = s.sample_total("lat").unwrap();
+        assert_eq!(t.n, 2);
+        assert_eq!(t.mean(), 2.0);
+        assert!(s.sample_total("none").is_none());
+    }
+
+    #[test]
+    fn report_uses_instance_names() {
+        let mut s = Stats::new();
+        s.count(InstanceId(0), "x", 1);
+        s.sample(InstanceId(1), "y", 2.0);
+        let r = s.report(&["alpha".into(), "beta".into()]);
+        assert_eq!(r.counters["alpha.x"], 1);
+        assert_eq!(r.samples["beta.y"].n, 1);
+    }
+
+    #[test]
+    fn empty_sample_mean_is_zero() {
+        let s = Sample {
+            sum: 0.0,
+            n: 0,
+            min: 0.0,
+            max: 0.0,
+        };
+        assert_eq!(s.mean(), 0.0);
+    }
+}

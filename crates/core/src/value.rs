@@ -1,0 +1,281 @@
+//! The dynamic data type carried on LSE connections.
+//!
+//! The paper's component contract requires that *any* two modules can be
+//! wired together without prior planning, including modules from different
+//! domains (a processor pipeline stage and a network router, say). That
+//! rules out a statically typed channel payload at the kernel level, so the
+//! kernel moves [`Value`]s: a small dynamic type with the common scalar
+//! shapes plus an [`Value::Opaque`] escape hatch for library-defined payload
+//! structs (instructions, packets, coherence messages, ...).
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+/// Payload trait for library-defined values carried through [`Value::Opaque`].
+///
+/// Implemented automatically for any `'static + Send + Sync + Debug +
+/// PartialEq` type via the blanket impl, so libraries never implement it by
+/// hand; they just call [`Value::wrap`].
+pub trait OpaqueValue: Any + Send + Sync + fmt::Debug {
+    /// Upcast to [`Any`] for downcasting back to the concrete type.
+    fn as_any(&self) -> &dyn Any;
+    /// Dynamic equality: true iff `other` is the same concrete type and
+    /// compares equal.
+    fn eq_dyn(&self, other: &dyn OpaqueValue) -> bool;
+    /// Name of the concrete Rust type, for diagnostics.
+    fn type_name(&self) -> &'static str;
+}
+
+impl<T> OpaqueValue for T
+where
+    T: Any + Send + Sync + fmt::Debug + PartialEq,
+{
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn eq_dyn(&self, other: &dyn OpaqueValue) -> bool {
+        other
+            .as_any()
+            .downcast_ref::<T>()
+            .is_some_and(|o| o == self)
+    }
+
+    fn type_name(&self) -> &'static str {
+        std::any::type_name::<T>()
+    }
+}
+
+/// A dynamically typed value carried on a connection's data signal.
+///
+/// `Value` is cheap to clone: the variants that can be large (`Tuple`,
+/// `Bytes`, `Str`, `Opaque`) are reference counted or otherwise shared.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// A pure token: presence is the information (e.g. a grant wire).
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit machine word; the workhorse scalar.
+    Word(u64),
+    /// A signed 64-bit integer.
+    Int(i64),
+    /// A double-precision float (used by statistical models).
+    Float(f64),
+    /// A shared tuple of values.
+    Tuple(Arc<Vec<Value>>),
+    /// A shared immutable string.
+    Str(Arc<str>),
+    /// A library-defined payload (instruction, packet, coherence message...).
+    Opaque(Arc<dyn OpaqueValue>),
+}
+
+impl Value {
+    /// Wrap a library-defined payload type into a `Value`.
+    pub fn wrap<T>(v: T) -> Self
+    where
+        T: Any + Send + Sync + fmt::Debug + PartialEq,
+    {
+        Value::Opaque(Arc::new(v))
+    }
+
+    /// Wrap an already shared payload without another allocation.
+    pub fn wrap_arc<T>(v: Arc<T>) -> Self
+    where
+        T: Any + Send + Sync + fmt::Debug + PartialEq,
+    {
+        Value::Opaque(v)
+    }
+
+    /// Borrow the payload as a concrete type, if this is an `Opaque` of that
+    /// type.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        match self {
+            Value::Opaque(o) => o.as_any().downcast_ref::<T>(),
+            _ => None,
+        }
+    }
+
+    /// The word carried by a `Word`, `Int` (reinterpreted) or `Bool` value.
+    pub fn as_word(&self) -> Option<u64> {
+        match self {
+            Value::Word(w) => Some(*w),
+            Value::Int(i) => Some(*i as u64),
+            Value::Bool(b) => Some(u64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// The boolean carried by a `Bool` value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The float carried by a `Float` value.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable description of the value's dynamic type.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::Word(_) => "word",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Tuple(_) => "tuple",
+            Value::Str(_) => "str",
+            Value::Opaque(o) => o.type_name(),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Unit, Unit) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Word(a), Word(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a == b,
+            (Tuple(a), Tuple(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (Opaque(a), Opaque(b)) => Arc::ptr_eq(a, b) || a.eq_dyn(b.as_ref()),
+            _ => false,
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(w: u64) -> Self {
+        Value::Word(w)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Word(w) => write!(f, "{w}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Tuple(t) => {
+                write!(f, "(")?;
+                for (i, v) in t.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Opaque(o) => write!(f, "{o:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Pkt {
+        dst: u32,
+        len: u16,
+    }
+
+    #[test]
+    fn wrap_and_downcast() {
+        let v = Value::wrap(Pkt { dst: 3, len: 64 });
+        let p = v.downcast_ref::<Pkt>().expect("downcast");
+        assert_eq!(p.dst, 3);
+        assert_eq!(p.len, 64);
+        assert!(v.downcast_ref::<u32>().is_none());
+    }
+
+    #[test]
+    fn opaque_equality_is_structural() {
+        let a = Value::wrap(Pkt { dst: 1, len: 2 });
+        let b = Value::wrap(Pkt { dst: 1, len: 2 });
+        let c = Value::wrap(Pkt { dst: 9, len: 2 });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn opaque_equality_across_types_is_false() {
+        #[derive(Debug, PartialEq)]
+        struct Other(u32);
+        let a = Value::wrap(Pkt { dst: 1, len: 2 });
+        let b = Value::wrap(Other(1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scalar_accessors() {
+        assert_eq!(Value::Word(7).as_word(), Some(7));
+        assert_eq!(Value::Bool(true).as_word(), Some(1));
+        assert_eq!(Value::Int(-1).as_word(), Some(u64::MAX));
+        assert_eq!(Value::Unit.as_word(), None);
+        assert_eq!(Value::Bool(false).as_bool(), Some(false));
+        assert_eq!(Value::Float(0.5).as_float(), Some(0.5));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::Word(42).to_string(), "42");
+        let t = Value::Tuple(Arc::new(vec![Value::Word(1), Value::Bool(false)]));
+        assert_eq!(t.to_string(), "(1, false)");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3u64), Value::Word(3));
+        assert_eq!(Value::from(-3i64), Value::Int(-3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("hi"), Value::Str(Arc::from("hi")));
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(Value::Word(0).kind(), "word");
+        let v = Value::wrap(Pkt { dst: 0, len: 0 });
+        assert!(v.kind().contains("Pkt"));
+    }
+}

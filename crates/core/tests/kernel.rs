@@ -1,0 +1,388 @@
+//! End-to-end kernel semantics tests: handshakes, backpressure, default
+//! control semantics, partial specification, scheduler equivalence, and
+//! contract-violation detection.
+
+use liberty_core::prelude::*;
+
+const P0: PortId = PortId(0);
+const P1: PortId = PortId(1);
+
+/// Emits `Word(now)` on every connection of its single output port.
+struct Counter;
+impl Module for Counter {
+    fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+        for i in 0..ctx.width(P0) {
+            ctx.send(P0, i, Value::Word(ctx.now()))?;
+        }
+        Ok(())
+    }
+    fn commit(&mut self, ctx: &mut CommitCtx<'_>) -> Result<(), SimError> {
+        for i in 0..ctx.width(P0) {
+            if ctx.transferred_out(P0, i) {
+                ctx.count("sent", 1);
+            }
+        }
+        Ok(())
+    }
+}
+fn counter_spec() -> ModuleSpec {
+    ModuleSpec::new("counter").output("out", 0, u32::MAX)
+}
+
+/// Single-entry register stage: forwards last cycle's input; accepts new
+/// input only when empty or draining this cycle.
+struct Stage {
+    held: Option<Value>,
+}
+impl Module for Stage {
+    fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+        // Output is a function of state only: registered.
+        match &self.held {
+            Some(v) => ctx.send(P1, 0, v.clone())?,
+            None => ctx.send_nothing(P1, 0)?,
+        }
+        // Flow control must be driven explicitly: an undriven ack defaults
+        // to *accept* (default control semantics). Accept only when empty;
+        // explicitly refuse when full, giving a half-throughput stage.
+        ctx.set_ack(P0, 0, self.held.is_none())?;
+        Ok(())
+    }
+    fn commit(&mut self, ctx: &mut CommitCtx<'_>) -> Result<(), SimError> {
+        if ctx.transferred_out(P1, 0) {
+            self.held = None;
+            ctx.count("forwarded", 1);
+        }
+        if let Some(v) = ctx.transferred_in(P0, 0) {
+            self.held = Some(v.clone());
+        }
+        Ok(())
+    }
+}
+fn stage_spec() -> ModuleSpec {
+    ModuleSpec::new("stage").input("in", 0, 1).output("out", 0, 1)
+}
+
+/// Accepts everything; counts and sums received words.
+struct Collector;
+impl Module for Collector {
+    fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+        for i in 0..ctx.width(P0) {
+            ctx.set_ack(P0, i, true)?;
+        }
+        Ok(())
+    }
+    fn commit(&mut self, ctx: &mut CommitCtx<'_>) -> Result<(), SimError> {
+        for i in 0..ctx.width(P0) {
+            if let Some(v) = ctx.transferred_in(P0, i) {
+                ctx.count("received", 1);
+                ctx.count("sum", v.as_word().unwrap_or(0));
+            }
+        }
+        Ok(())
+    }
+}
+fn collector_spec() -> ModuleSpec {
+    ModuleSpec::new("collector").input("in", 0, u32::MAX)
+}
+
+/// Refuses every offer.
+struct Refuser;
+impl Module for Refuser {
+    fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+        ctx.set_ack(P0, 0, false)
+    }
+    fn commit(&mut self, ctx: &mut CommitCtx<'_>) -> Result<(), SimError> {
+        if ctx.transferred_in(P0, 0).is_some() {
+            ctx.count("accepted", 1);
+        }
+        Ok(())
+    }
+}
+fn refuser_spec() -> ModuleSpec {
+    ModuleSpec::new("refuser").input("in", 0, 1)
+}
+
+#[test]
+fn direct_transfer_every_cycle() {
+    let mut b = NetlistBuilder::new();
+    let c = b.add("c", counter_spec(), Box::new(Counter)).unwrap();
+    let k = b.add("k", collector_spec(), Box::new(Collector)).unwrap();
+    b.connect(c, "out", k, "in").unwrap();
+    let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+    sim.run(10).unwrap();
+    assert_eq!(sim.stats().counter(k, "received"), 10);
+    // Words 0..=9 sum to 45.
+    assert_eq!(sim.stats().counter(k, "sum"), 45);
+    assert_eq!(sim.stats().counter(c, "sent"), 10);
+}
+
+#[test]
+fn refused_transfer_never_completes() {
+    let mut b = NetlistBuilder::new();
+    let c = b.add("c", counter_spec(), Box::new(Counter)).unwrap();
+    let r = b.add("r", refuser_spec(), Box::new(Refuser)).unwrap();
+    b.connect(c, "out", r, "in").unwrap();
+    let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+    sim.run(5).unwrap();
+    assert_eq!(sim.stats().counter(r, "accepted"), 0);
+    assert_eq!(sim.stats().counter(c, "sent"), 0);
+}
+
+#[test]
+fn pipeline_of_stages_delays_and_throttles() {
+    // counter -> stage -> collector. The stage only accepts when empty,
+    // so it forwards at half rate once primed.
+    let mut b = NetlistBuilder::new();
+    let c = b.add("c", counter_spec(), Box::new(Counter)).unwrap();
+    let s = b.add("s", stage_spec(), Box::new(Stage { held: None })).unwrap();
+    let k = b.add("k", collector_spec(), Box::new(Collector)).unwrap();
+    b.connect(c, "out", s, "in").unwrap();
+    b.connect(s, "out", k, "in").unwrap();
+    let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+    sim.run(9).unwrap();
+    // Cycle 0: stage accepts word 0. Cycle 1: forwards 0 (full, rejects).
+    // Cycle 2: accepts 2... forwarded on odd cycles: 4 completions in 9.
+    let fwd = sim.stats().counter(s, "forwarded");
+    assert_eq!(fwd, 4);
+    assert_eq!(sim.stats().counter(k, "received"), 4);
+    // Received words are the even counter values 0,2,4,6.
+    assert_eq!(sim.stats().counter(k, "sum"), 12);
+}
+
+#[test]
+fn unconnected_output_is_partial_spec_ok() {
+    // A counter with nothing attached: runs fine, sends complete nowhere.
+    let mut b = NetlistBuilder::new();
+    let c = b.add("c", counter_spec(), Box::new(Counter)).unwrap();
+    let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+    sim.run(5).unwrap();
+    assert_eq!(sim.stats().counter(c, "sent"), 0);
+}
+
+#[test]
+fn unconnected_input_reads_nothing() {
+    let mut b = NetlistBuilder::new();
+    let k = b.add("k", collector_spec(), Box::new(Collector)).unwrap();
+    let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+    sim.run(5).unwrap();
+    assert_eq!(sim.stats().counter(k, "received"), 0);
+}
+
+/// A lazy sender that drives nothing at all; paired with a collector, the
+/// default phase must resolve every wire (data No, enable No, ack Yes).
+struct Silent;
+impl Module for Silent {
+    fn react(&mut self, _: &mut ReactCtx<'_>) -> Result<(), SimError> {
+        Ok(())
+    }
+    fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+        Ok(())
+    }
+}
+
+#[test]
+fn default_phase_resolves_silent_connections() {
+    let mut b = NetlistBuilder::new();
+    let s = b.add("s", counter_spec(), Box::new(Silent)).unwrap();
+    let k = b.add("k", collector_spec(), Box::new(Collector)).unwrap();
+    b.connect(s, "out", k, "in").unwrap();
+    let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+    sim.run(3).unwrap();
+    assert_eq!(sim.stats().counter(k, "received"), 0);
+    // Data and enable were defaulted each cycle (ack driven by collector).
+    assert_eq!(sim.metrics().defaults, 6);
+}
+
+/// Drives conflicting resolutions to provoke a contract violation.
+struct Contradictor;
+impl Module for Contradictor {
+    fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+        ctx.set_data(P0, 0, Res::No)?;
+        ctx.set_data(P0, 0, Res::Yes(Value::Word(1)))?;
+        Ok(())
+    }
+    fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+        Ok(())
+    }
+}
+
+#[test]
+fn non_monotonic_module_is_caught() {
+    let mut b = NetlistBuilder::new();
+    let c = b.add("c", counter_spec(), Box::new(Contradictor)).unwrap();
+    let k = b.add("k", collector_spec(), Box::new(Collector)).unwrap();
+    b.connect(c, "out", k, "in").unwrap();
+    let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+    let err = sim.step().unwrap_err();
+    assert!(err.to_string().contains("contract violation"));
+    assert!(err.to_string().contains('c'));
+}
+
+/// Tries to ack its own output port (direction misuse).
+struct WrongDir;
+impl Module for WrongDir {
+    fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+        ctx.set_ack(P0, 0, true)
+    }
+    fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+        Ok(())
+    }
+}
+
+#[test]
+fn direction_misuse_is_caught() {
+    let mut b = NetlistBuilder::new();
+    let c = b.add("c", counter_spec(), Box::new(WrongDir)).unwrap();
+    let k = b.add("k", collector_spec(), Box::new(Collector)).unwrap();
+    b.connect(c, "out", k, "in").unwrap();
+    let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+    assert!(sim.step().is_err());
+}
+
+fn build_chain(n_stages: usize, sched: SchedKind) -> (Simulator, InstanceId) {
+    let mut b = NetlistBuilder::new();
+    let c = b.add("c", counter_spec(), Box::new(Counter)).unwrap();
+    let mut prev = c;
+    let mut prev_port = "out";
+    for i in 0..n_stages {
+        let s = b
+            .add(format!("s{i}"), stage_spec(), Box::new(Stage { held: None }))
+            .unwrap();
+        b.connect(prev, prev_port, s, "in").unwrap();
+        prev = s;
+        prev_port = "out";
+    }
+    let k = b.add("k", collector_spec(), Box::new(Collector)).unwrap();
+    b.connect(prev, prev_port, k, "in").unwrap();
+    let sim = Simulator::new(b.build().unwrap(), sched);
+    (sim, k)
+}
+
+#[test]
+fn all_three_schedulers_agree() {
+    for n in [1usize, 3, 8] {
+        let (mut w, kw) = build_chain(n, SchedKind::Sweep);
+        let (mut d, kd) = build_chain(n, SchedKind::Dynamic);
+        let (mut s, ks) = build_chain(n, SchedKind::Static);
+        w.run(40).unwrap();
+        d.run(40).unwrap();
+        s.run(40).unwrap();
+        for (name, sim, k) in [("sweep", &w, kw), ("static", &s, ks)] {
+            assert_eq!(
+                d.stats().counter(kd, "received"),
+                sim.stats().counter(k, "received"),
+                "{name} chain of {n}"
+            );
+            assert_eq!(
+                d.stats().counter(kd, "sum"),
+                sim.stats().counter(k, "sum"),
+                "{name} chain of {n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_scheduler_does_the_most_work() {
+    let (mut w, _) = build_chain(16, SchedKind::Sweep);
+    let (mut d, _) = build_chain(16, SchedKind::Dynamic);
+    w.run(50).unwrap();
+    d.run(50).unwrap();
+    assert!(
+        w.metrics().reacts > d.metrics().reacts,
+        "sweep {} !> worklist {}",
+        w.metrics().reacts,
+        d.metrics().reacts
+    );
+}
+
+#[test]
+fn static_scheduler_uses_no_more_reacts() {
+    let (mut d, _) = build_chain(16, SchedKind::Dynamic);
+    let (mut s, _) = build_chain(16, SchedKind::Static);
+    d.run(50).unwrap();
+    s.run(50).unwrap();
+    assert!(
+        s.metrics().reacts <= d.metrics().reacts,
+        "static {} > dynamic {}",
+        s.metrics().reacts,
+        d.metrics().reacts
+    );
+}
+
+struct RecordingTracer(std::sync::Arc<parking_lot_stub::Mutex<Vec<(u64, String, String)>>>);
+
+/// Tiny local stand-in so the core crate needs no extra dev-dependency.
+mod parking_lot_stub {
+    pub use std::sync::Mutex;
+}
+
+impl Tracer for RecordingTracer {
+    fn transfer(&mut self, now: u64, src: &str, dst: &str, _v: &Value) {
+        self.0.lock().unwrap().push((now, src.to_owned(), dst.to_owned()));
+    }
+}
+
+#[test]
+fn tracer_sees_transfers() {
+    let mut b = NetlistBuilder::new();
+    let c = b.add("c", counter_spec(), Box::new(Counter)).unwrap();
+    let k = b.add("k", collector_spec(), Box::new(Collector)).unwrap();
+    b.connect(c, "out", k, "in").unwrap();
+    let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+    let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    sim.set_tracer(Box::new(RecordingTracer(log.clone())));
+    sim.run(3).unwrap();
+    let log = log.lock().unwrap();
+    assert_eq!(log.len(), 3);
+    assert_eq!(log[0], (0, "c".to_owned(), "k".to_owned()));
+}
+
+#[test]
+fn fanout_to_multiple_collectors() {
+    let mut b = NetlistBuilder::new();
+    let c = b.add("c", counter_spec(), Box::new(Counter)).unwrap();
+    let k1 = b.add("k1", collector_spec(), Box::new(Collector)).unwrap();
+    let k2 = b.add("k2", collector_spec(), Box::new(Collector)).unwrap();
+    b.connect(c, "out", k1, "in").unwrap();
+    b.connect(c, "out", k2, "in").unwrap();
+    let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Static);
+    sim.run(4).unwrap();
+    assert_eq!(sim.stats().counter(k1, "received"), 4);
+    assert_eq!(sim.stats().counter(k2, "received"), 4);
+    assert_eq!(sim.stats().counter(c, "sent"), 8);
+}
+
+#[test]
+fn run_until_stops_at_predicate() {
+    let mut b = NetlistBuilder::new();
+    let c = b.add("c", counter_spec(), Box::new(Counter)).unwrap();
+    let k = b.add("k", collector_spec(), Box::new(Collector)).unwrap();
+    b.connect(c, "out", k, "in").unwrap();
+    let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+    let steps = sim
+        .run_until(100, |st| st.counter(k, "received") >= 7)
+        .unwrap();
+    assert_eq!(steps, 7);
+    assert_eq!(sim.now(), 7);
+}
+
+#[test]
+fn metrics_track_steps_and_commits() {
+    let (mut sim, _) = build_chain(2, SchedKind::Dynamic);
+    sim.run(5).unwrap();
+    let m = sim.metrics();
+    assert_eq!(m.steps, 5);
+    // 4 instances * 5 steps.
+    assert_eq!(m.commits, 20);
+    assert!(m.reacts >= 20);
+}
+
+#[test]
+fn report_contains_named_stats() {
+    let (mut sim, _) = build_chain(1, SchedKind::Dynamic);
+    sim.run(8).unwrap();
+    let rep = sim.report();
+    assert!(rep.counters.contains_key("k.received"));
+    assert!(rep.counters.contains_key("s0.forwarded"));
+}

@@ -1,0 +1,255 @@
+//! Abstract syntax of the LSS specification language.
+//!
+//! An LSS file is a list of `module` definitions. Each module is a
+//! hierarchical template (paper §2.1): parameter declarations, exported
+//! ports, customized sub-instances (possibly arrays), and connections —
+//! including connections to `self.<port>` that bind exported ports to
+//! sub-instance ports.
+
+use liberty_core::prelude::Dir;
+use std::fmt;
+
+/// A whole specification: a set of module templates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spec {
+    /// Module definitions in source order.
+    pub modules: Vec<ModuleDef>,
+}
+
+/// One `module name { ... }` definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModuleDef {
+    /// Template name.
+    pub name: String,
+    /// Parameter declarations.
+    pub params: Vec<ParamDecl>,
+    /// Exported ports.
+    pub ports: Vec<PortDecl>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// `param name = default;`
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter name.
+    pub name: String,
+    /// Default value expression (evaluated in the parent's environment).
+    pub default: Expr,
+}
+
+/// `port in name;` / `port out name;`
+#[derive(Clone, Debug, PartialEq)]
+pub struct PortDecl {
+    /// Direction from this module's perspective.
+    pub dir: Dir,
+    /// Exported port name.
+    pub name: String,
+}
+
+/// A body statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `instance name : template { p = e; ... };` or
+    /// `instance name[count] : template { ... };`
+    Instance {
+        /// Instance (array) name.
+        name: String,
+        /// Array size; `None` for a scalar instance.
+        count: Option<Expr>,
+        /// Template to instantiate (module def or registry template).
+        template: String,
+        /// Parameter overrides.
+        overrides: Vec<(String, Expr)>,
+    },
+    /// `connect a.p -> b.q;` (either side may be `self.<port>` or indexed).
+    Connect {
+        /// Source endpoint (an output, or an exported input via `self`).
+        from: PortRef,
+        /// Destination endpoint.
+        to: PortRef,
+    },
+    /// `for i in lo..hi { ... }`
+    For {
+        /// Loop variable, visible in body expressions and indices.
+        var: String,
+        /// Inclusive lower bound.
+        lo: Expr,
+        /// Exclusive upper bound.
+        hi: Expr,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// `if cond { ... } [else { ... }]` — conditional elaboration: a
+    /// nonzero int / `true` bool selects the then-branch. This is how a
+    /// specification grows optional structure (a predictor, a second
+    /// cache level) under a parameter.
+    If {
+        /// The elaboration-time condition.
+        cond: Expr,
+        /// Statements elaborated when the condition holds.
+        then_body: Vec<Stmt>,
+        /// Statements elaborated otherwise.
+        else_body: Vec<Stmt>,
+    },
+}
+
+/// A reference to a port of an instance (or of the enclosing module via
+/// the instance name `self`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PortRef {
+    /// Instance name, or `"self"`.
+    pub inst: String,
+    /// Array index (for instance arrays).
+    pub index: Option<Expr>,
+    /// Port name.
+    pub port: String,
+}
+
+/// Binary arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// Parameter or loop-variable reference.
+    Var(String),
+    /// Binary arithmetic.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(i) => write!(f, "{i}"),
+            Expr::Float(x) => {
+                // Keep a decimal point so the round trip re-lexes a float.
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Expr::Str(s) => write!(f, "{s:?}"),
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Bin(op, l, r) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Rem => "%",
+                };
+                write!(f, "({l} {sym} {r})")
+            }
+            Expr::Neg(e) => write!(f, "(-{e})"),
+        }
+    }
+}
+
+impl fmt::Display for PortRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.index {
+            Some(ix) => write!(f, "{}[{}].{}", self.inst, ix, self.port),
+            None => write!(f, "{}.{}", self.inst, self.port),
+        }
+    }
+}
+
+fn write_stmts(f: &mut fmt::Formatter<'_>, stmts: &[Stmt], indent: usize) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    for s in stmts {
+        match s {
+            Stmt::Instance {
+                name,
+                count,
+                template,
+                overrides,
+            } => {
+                write!(f, "{pad}instance {name}")?;
+                if let Some(c) = count {
+                    write!(f, "[{c}]")?;
+                }
+                write!(f, " : {template}")?;
+                if overrides.is_empty() {
+                    writeln!(f, ";")?;
+                } else {
+                    write!(f, " {{ ")?;
+                    for (k, v) in overrides {
+                        write!(f, "{k} = {v}; ")?;
+                    }
+                    writeln!(f, "}};")?;
+                }
+            }
+            Stmt::Connect { from, to } => writeln!(f, "{pad}connect {from} -> {to};")?,
+            Stmt::For { var, lo, hi, body } => {
+                writeln!(f, "{pad}for {var} in {lo}..{hi} {{")?;
+                write_stmts(f, body, indent + 1)?;
+                writeln!(f, "{pad}}}")?;
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                writeln!(f, "{pad}if {cond} {{")?;
+                write_stmts(f, then_body, indent + 1)?;
+                if else_body.is_empty() {
+                    writeln!(f, "{pad}}}")?;
+                } else {
+                    writeln!(f, "{pad}}} else {{")?;
+                    write_stmts(f, else_body, indent + 1)?;
+                    writeln!(f, "{pad}}}")?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for ModuleDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module {} {{", self.name)?;
+        for p in &self.params {
+            writeln!(f, "  param {} = {};", p.name, p.default)?;
+        }
+        for p in &self.ports {
+            let d = if p.dir == Dir::In { "in" } else { "out" };
+            writeln!(f, "  port {d} {};", p.name)?;
+        }
+        write_stmts(f, &self.body, 1)?;
+        writeln!(f, "}}")
+    }
+}
+
+impl fmt::Display for Spec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for m in &self.modules {
+            write!(f, "{m}")?;
+        }
+        Ok(())
+    }
+}

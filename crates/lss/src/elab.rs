@@ -1,0 +1,539 @@
+//! Elaboration: turning a parsed LSS [`Spec`] into a flat, validated
+//! netlist (paper Fig. 1: "Liberty Simulator Constructor").
+//!
+//! Hierarchical module templates are flattened recursively. An instance of
+//! an LSS-defined module contributes its sub-instances under a dotted name
+//! prefix; its exported ports are *bindings* to inner leaf ports, so
+//! connections through the hierarchy always terminate at leaf module
+//! instances, matching the kernel's flat edge model.
+
+use crate::ast::*;
+use liberty_core::module::Dir;
+use liberty_core::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+
+/// Statistics about an elaboration, used by the reuse census (E6) and
+/// construction-cost experiments (E1).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ElabReport {
+    /// Number of leaf module instances in the flat netlist.
+    pub leaf_instances: usize,
+    /// Number of connections.
+    pub edges: usize,
+    /// How many times each leaf template was instantiated.
+    pub template_uses: BTreeMap<String, usize>,
+    /// How many times each LSS-defined hierarchical module was elaborated.
+    pub module_uses: BTreeMap<String, usize>,
+}
+
+/// Where an exported port of a hierarchical instance actually lands.
+#[derive(Clone, Debug)]
+struct Binding {
+    inner: InstanceId,
+    port: String,
+    dir: Dir,
+}
+
+/// One name in a module's local scope: a leaf instance array or a
+/// hierarchical instance array (scalars are arrays of length 1).
+enum ScopeEntry {
+    Leaf(Vec<InstanceId>),
+    Hier(Vec<HashMap<String, Binding>>),
+}
+
+/// Environment for expression evaluation: innermost scope last.
+struct Env {
+    frames: Vec<HashMap<String, ParamValue>>,
+}
+
+impl Env {
+    fn new() -> Self {
+        Env { frames: vec![HashMap::new()] }
+    }
+
+    fn lookup(&self, name: &str) -> Option<&ParamValue> {
+        self.frames.iter().rev().find_map(|f| f.get(name))
+    }
+
+    fn define(&mut self, name: &str, v: ParamValue) {
+        self.frames
+            .last_mut()
+            .expect("env has a frame")
+            .insert(name.to_owned(), v);
+    }
+
+    fn push(&mut self) {
+        self.frames.push(HashMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.frames.pop();
+    }
+}
+
+fn eval(e: &Expr, env: &Env) -> Result<ParamValue, SimError> {
+    Ok(match e {
+        Expr::Int(i) => ParamValue::Int(*i),
+        Expr::Float(x) => ParamValue::Float(*x),
+        Expr::Str(s) => ParamValue::Str(s.clone()),
+        Expr::Bool(b) => ParamValue::Bool(*b),
+        Expr::Var(v) => env
+            .lookup(v)
+            .cloned()
+            .ok_or_else(|| SimError::elab(format!("unknown parameter or variable {v:?}")))?,
+        Expr::Neg(inner) => match eval(inner, env)? {
+            ParamValue::Int(i) => ParamValue::Int(-i),
+            ParamValue::Float(x) => ParamValue::Float(-x),
+            other => {
+                return Err(SimError::elab(format!("cannot negate {other}")));
+            }
+        },
+        Expr::Bin(op, l, r) => {
+            let l = eval(l, env)?;
+            let r = eval(r, env)?;
+            match (l, r) {
+                (ParamValue::Int(a), ParamValue::Int(b)) => ParamValue::Int(match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Err(SimError::elab("division by zero".to_owned()));
+                        }
+                        a / b
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            return Err(SimError::elab("remainder by zero".to_owned()));
+                        }
+                        a % b
+                    }
+                }),
+                (a, b) => {
+                    let fa = to_f64(&a)?;
+                    let fb = to_f64(&b)?;
+                    ParamValue::Float(match op {
+                        BinOp::Add => fa + fb,
+                        BinOp::Sub => fa - fb,
+                        BinOp::Mul => fa * fb,
+                        BinOp::Div => fa / fb,
+                        BinOp::Rem => fa % fb,
+                    })
+                }
+            }
+        }
+    })
+}
+
+fn to_f64(v: &ParamValue) -> Result<f64, SimError> {
+    match v {
+        ParamValue::Int(i) => Ok(*i as f64),
+        ParamValue::Float(x) => Ok(*x),
+        other => Err(SimError::elab(format!("expected numeric value, got {other}"))),
+    }
+}
+
+fn eval_index(e: &Expr, env: &Env, len: usize, what: &str) -> Result<usize, SimError> {
+    match eval(e, env)? {
+        ParamValue::Int(i) if i >= 0 && (i as usize) < len => Ok(i as usize),
+        ParamValue::Int(i) => Err(SimError::elab(format!(
+            "{what}: index {i} out of range 0..{len}"
+        ))),
+        other => Err(SimError::elab(format!("{what}: index must be an int, got {other}"))),
+    }
+}
+
+struct Elaborator<'a> {
+    defs: HashMap<&'a str, &'a ModuleDef>,
+    registry: &'a Registry,
+    builder: NetlistBuilder,
+    report: ElabReport,
+    /// Template-name stack for recursion detection.
+    stack: Vec<String>,
+}
+
+impl<'a> Elaborator<'a> {
+    /// Elaborate one module body. `prefix` is the dotted instance path,
+    /// `args` the evaluated parameter overrides. Returns the exported-port
+    /// bindings of this module instance.
+    fn elab_module(
+        &mut self,
+        def: &'a ModuleDef,
+        prefix: &str,
+        args: &Params,
+    ) -> Result<HashMap<String, Binding>, SimError> {
+        if self.stack.iter().any(|m| m == &def.name) {
+            return Err(SimError::elab(format!(
+                "recursive module instantiation: {} -> {}",
+                self.stack.join(" -> "),
+                def.name
+            )));
+        }
+        self.stack.push(def.name.clone());
+        *self.report.module_uses.entry(def.name.clone()).or_insert(0) += 1;
+
+        // Parameter environment: defaults (evaluated in order, so later
+        // defaults may reference earlier parameters) overridden by args.
+        let mut env = Env::new();
+        for p in &def.params {
+            let v = match args.get(&p.name) {
+                Some(v) => v.clone(),
+                None => eval(&p.default, &env)?,
+            };
+            env.define(&p.name, v);
+        }
+        for (name, _) in args.iter() {
+            if !def.params.iter().any(|p| p.name == name) {
+                return Err(SimError::elab(format!(
+                    "module {}: unknown parameter override {name:?}",
+                    def.name
+                )));
+            }
+        }
+
+        let mut scope: HashMap<String, ScopeEntry> = HashMap::new();
+        let mut exported: HashMap<String, Binding> = HashMap::new();
+        let declared: HashMap<&str, Dir> =
+            def.ports.iter().map(|p| (p.name.as_str(), p.dir)).collect();
+
+        self.elab_stmts(&def.body, prefix, def, &mut env, &mut scope, &mut exported, &declared)?;
+
+        self.stack.pop();
+        Ok(exported)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn elab_stmts(
+        &mut self,
+        stmts: &'a [Stmt],
+        prefix: &str,
+        def: &'a ModuleDef,
+        env: &mut Env,
+        scope: &mut HashMap<String, ScopeEntry>,
+        exported: &mut HashMap<String, Binding>,
+        declared: &HashMap<&str, Dir>,
+    ) -> Result<(), SimError> {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Instance {
+                    name,
+                    count,
+                    template,
+                    overrides,
+                } => {
+                    if scope.contains_key(name) {
+                        return Err(SimError::elab(format!(
+                            "module {}: duplicate instance name {name:?}",
+                            def.name
+                        )));
+                    }
+                    let n = match count {
+                        None => None,
+                        Some(c) => match eval(c, env)? {
+                            ParamValue::Int(i) if i >= 0 => Some(i as usize),
+                            other => {
+                                return Err(SimError::elab(format!(
+                                    "instance {name}: array size must be a non-negative int, got {other}"
+                                )))
+                            }
+                        },
+                    };
+                    let mut params = Params::new();
+                    for (k, v) in overrides {
+                        params.set(k, eval(v, env)?);
+                    }
+                    let total = n.unwrap_or(1);
+                    let mut leafs = Vec::new();
+                    let mut hiers = Vec::new();
+                    for idx in 0..total {
+                        let elem_name = match n {
+                            None => format!("{prefix}{name}"),
+                            Some(_) => format!("{prefix}{name}[{idx}]"),
+                        };
+                        // Per-element params: expose the element index as
+                        // an implicit `index` parameter for sub-modules.
+                        if let Some(mdef) = self.defs.get(template.as_str()).copied() {
+                            let bindings =
+                                self.elab_module(mdef, &format!("{elem_name}."), &params)?;
+                            hiers.push(bindings);
+                        } else if self.registry.get(template)?.is_composite() {
+                            // Rust-defined hierarchical template: expand it
+                            // and adopt its exported ports as bindings.
+                            let exported = self.registry.get(template)?.instantiate_composite(
+                                &params,
+                                &mut self.builder,
+                                &format!("{elem_name}."),
+                            )?;
+                            *self
+                                .report
+                                .module_uses
+                                .entry(template.clone())
+                                .or_insert(0) += 1;
+                            let map = exported
+                                .into_iter()
+                                .map(|e| {
+                                    (
+                                        e.name,
+                                        Binding {
+                                            inner: e.inst,
+                                            port: e.port,
+                                            dir: e.dir,
+                                        },
+                                    )
+                                })
+                                .collect();
+                            hiers.push(map);
+                        } else {
+                            let (spec, module) = self.registry.instantiate(template, &params)?;
+                            let id = self.builder.add(elem_name, spec, module)?;
+                            leafs.push(id);
+                        }
+                    }
+                    let entry = if !hiers.is_empty() {
+                        ScopeEntry::Hier(hiers)
+                    } else {
+                        ScopeEntry::Leaf(leafs)
+                    };
+                    scope.insert(name.clone(), entry);
+                }
+                Stmt::Connect { from, to } => {
+                    self.elab_connect(from, to, def, env, scope, exported, declared)?;
+                }
+
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    let truthy = match eval(cond, env)? {
+                        ParamValue::Bool(b) => b,
+                        ParamValue::Int(i) => i != 0,
+                        other => {
+                            return Err(SimError::elab(format!(
+                                "if: condition must be bool or int, got {other}"
+                            )))
+                        }
+                    };
+                    let branch = if truthy { then_body } else { else_body };
+                    env.push();
+                    self.elab_stmts(branch, prefix, def, env, scope, exported, declared)?;
+                    env.pop();
+                }
+                Stmt::For { var, lo, hi, body } => {
+                    let lo = match eval(lo, env)? {
+                        ParamValue::Int(i) => i,
+                        other => {
+                            return Err(SimError::elab(format!(
+                                "for {var}: bounds must be ints, got {other}"
+                            )))
+                        }
+                    };
+                    let hi = match eval(hi, env)? {
+                        ParamValue::Int(i) => i,
+                        other => {
+                            return Err(SimError::elab(format!(
+                                "for {var}: bounds must be ints, got {other}"
+                            )))
+                        }
+                    };
+                    for i in lo..hi {
+                        env.push();
+                        env.define(var, ParamValue::Int(i));
+                        self.elab_stmts(body, prefix, def, env, scope, exported, declared)?;
+                        env.pop();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve a (non-`self`) port reference to a leaf endpoint. When the
+    /// reference lands on a hierarchical instance's exported port,
+    /// `want_dir` checks that the port is used on the correct side of the
+    /// connect (leaf ports are checked later by the netlist builder).
+    fn resolve(
+        &self,
+        r: &PortRef,
+        def: &ModuleDef,
+        env: &Env,
+        scope: &HashMap<String, ScopeEntry>,
+        want_dir: Dir,
+    ) -> Result<(InstanceId, String), SimError> {
+        let entry = scope.get(&r.inst).ok_or_else(|| {
+            SimError::elab(format!(
+                "module {}: unknown instance {:?} in connect",
+                def.name, r.inst
+            ))
+        })?;
+        match entry {
+            ScopeEntry::Leaf(ids) => {
+                let idx = match &r.index {
+                    None if ids.len() == 1 => 0,
+                    None => {
+                        return Err(SimError::elab(format!(
+                            "{}: instance array {:?} needs an index",
+                            def.name, r.inst
+                        )))
+                    }
+                    Some(e) => eval_index(e, env, ids.len(), &r.inst)?,
+                };
+                Ok((ids[idx], r.port.clone()))
+            }
+            ScopeEntry::Hier(elems) => {
+                let idx = match &r.index {
+                    None if elems.len() == 1 => 0,
+                    None => {
+                        return Err(SimError::elab(format!(
+                            "{}: instance array {:?} needs an index",
+                            def.name, r.inst
+                        )))
+                    }
+                    Some(e) => eval_index(e, env, elems.len(), &r.inst)?,
+                };
+                let b = elems[idx].get(&r.port).ok_or_else(|| {
+                    SimError::elab(format!(
+                        "{}: instance {:?} has no exported port {:?}",
+                        def.name, r.inst, r.port
+                    ))
+                })?;
+                if b.dir != want_dir {
+                    return Err(SimError::elab(format!(
+                        "{}: exported port {}.{} used on the wrong side of a connect",
+                        def.name, r.inst, r.port
+                    )));
+                }
+                Ok((b.inner, b.port.clone()))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn elab_connect(
+        &mut self,
+        from: &PortRef,
+        to: &PortRef,
+        def: &ModuleDef,
+        env: &Env,
+        scope: &HashMap<String, ScopeEntry>,
+        exported: &mut HashMap<String, Binding>,
+        declared: &HashMap<&str, Dir>,
+    ) -> Result<(), SimError> {
+        let from_self = from.inst == "self";
+        let to_self = to.inst == "self";
+        match (from_self, to_self) {
+            (true, true) => Err(SimError::elab(format!(
+                "module {}: cannot connect self to self",
+                def.name
+            ))),
+            // `connect self.p -> inst.q`: binds exported *input* p.
+            (true, false) => {
+                let dir = declared.get(from.port.as_str()).copied().ok_or_else(|| {
+                    SimError::elab(format!(
+                        "module {}: undeclared port {:?}",
+                        def.name, from.port
+                    ))
+                })?;
+                if dir != Dir::In {
+                    return Err(SimError::elab(format!(
+                        "module {}: port {:?} is an output; bind it with `connect inst.q -> self.{}`",
+                        def.name, from.port, from.port
+                    )));
+                }
+                let (inner, port) = self.resolve(to, def, env, scope, Dir::In)?;
+                if exported.contains_key(&from.port) {
+                    return Err(SimError::elab(format!(
+                        "module {}: port {:?} bound twice",
+                        def.name, from.port
+                    )));
+                }
+                exported.insert(
+                    from.port.clone(),
+                    Binding {
+                        inner,
+                        port,
+                        dir: Dir::In,
+                    },
+                );
+                Ok(())
+            }
+            // `connect inst.q -> self.p`: binds exported *output* p.
+            (false, true) => {
+                let dir = declared.get(to.port.as_str()).copied().ok_or_else(|| {
+                    SimError::elab(format!("module {}: undeclared port {:?}", def.name, to.port))
+                })?;
+                if dir != Dir::Out {
+                    return Err(SimError::elab(format!(
+                        "module {}: port {:?} is an input; bind it with `connect self.{} -> inst.q`",
+                        def.name, to.port, to.port
+                    )));
+                }
+                let (inner, port) = self.resolve(from, def, env, scope, Dir::Out)?;
+                if exported.contains_key(&to.port) {
+                    return Err(SimError::elab(format!(
+                        "module {}: port {:?} bound twice",
+                        def.name, to.port
+                    )));
+                }
+                exported.insert(
+                    to.port.clone(),
+                    Binding {
+                        inner,
+                        port,
+                        dir: Dir::Out,
+                    },
+                );
+                Ok(())
+            }
+            (false, false) => {
+                let (src, src_port) = self.resolve(from, def, env, scope, Dir::Out)?;
+                let (dst, dst_port) = self.resolve(to, def, env, scope, Dir::In)?;
+                self.builder.connect(src, &src_port, dst, &dst_port)?;
+                self.report.edges += 1;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Elaborate `root` (an LSS module name) into a flat netlist, using
+/// `registry` for leaf templates and `args` as root parameter overrides.
+pub fn elaborate(
+    spec: &Spec,
+    registry: &Registry,
+    root: &str,
+    args: &Params,
+) -> Result<(Netlist, ElabReport), SimError> {
+    let mut defs = HashMap::new();
+    for m in &spec.modules {
+        if defs.insert(m.name.as_str(), m).is_some() {
+            return Err(SimError::elab(format!("duplicate module definition {:?}", m.name)));
+        }
+    }
+    let root_def = *defs
+        .get(root)
+        .ok_or_else(|| SimError::elab(format!("no module {root:?} in specification")))?;
+    let mut e = Elaborator {
+        defs,
+        registry,
+        builder: NetlistBuilder::new(),
+        report: ElabReport::default(),
+        stack: Vec::new(),
+    };
+    let exported = e.elab_module(root_def, "", args)?;
+    // Exported ports of the root stay unconnected: partial specification.
+    drop(exported);
+    let mut report = e.report;
+    let net = e.builder.build()?;
+    // The census counts ground truth in the flat netlist, so leaves added
+    // by composite templates are included.
+    report.leaf_instances = net.len();
+    report.edges = net.edges.len();
+    for inst in &net.instances {
+        *report
+            .template_uses
+            .entry(inst.spec.template.clone())
+            .or_insert(0) += 1;
+    }
+    Ok((net, report))
+}

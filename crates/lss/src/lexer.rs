@@ -1,0 +1,456 @@
+//! Lexer for the LSS specification language.
+
+use liberty_core::prelude::SimError;
+use std::fmt;
+
+/// Source position (1-based line and column) for diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier (also carries soft keywords resolved by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped).
+    Str(String),
+    /// `module`
+    KwModule,
+    /// `param`
+    KwParam,
+    /// `instance`
+    KwInstance,
+    /// `connect`
+    KwConnect,
+    /// `port`
+    KwPort,
+    /// `for`
+    KwFor,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `in`
+    KwIn,
+    /// `out`
+    KwOut,
+    /// `true`
+    KwTrue,
+    /// `false`
+    KwFalse,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `=`
+    Eq,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::KwModule => write!(f, "module"),
+            Tok::KwParam => write!(f, "param"),
+            Tok::KwInstance => write!(f, "instance"),
+            Tok::KwConnect => write!(f, "connect"),
+            Tok::KwPort => write!(f, "port"),
+            Tok::KwFor => write!(f, "for"),
+            Tok::KwIf => write!(f, "if"),
+            Tok::KwElse => write!(f, "else"),
+            Tok::KwIn => write!(f, "in"),
+            Tok::KwOut => write!(f, "out"),
+            Tok::KwTrue => write!(f, "true"),
+            Tok::KwFalse => write!(f, "false"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Colon => write!(f, ":"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::DotDot => write!(f, ".."),
+            Tok::Eq => write!(f, "="),
+            Tok::Arrow => write!(f, "->"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenize LSS source. `//` line comments and `/* */` block comments are
+/// skipped.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, SimError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        match c {
+            c if c.is_whitespace() => bump!(),
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    bump!();
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(SimError::elab(format!("{pos}: unterminated block comment")));
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    bump!();
+                }
+                let word: String = bytes[start..i].iter().collect();
+                let tok = match word.as_str() {
+                    "module" => Tok::KwModule,
+                    "param" => Tok::KwParam,
+                    "instance" => Tok::KwInstance,
+                    "connect" => Tok::KwConnect,
+                    "port" => Tok::KwPort,
+                    "for" => Tok::KwFor,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "in" => Tok::KwIn,
+                    "out" => Tok::KwOut,
+                    "true" => Tok::KwTrue,
+                    "false" => Tok::KwFalse,
+                    _ => Tok::Ident(word),
+                };
+                out.push(Spanned { tok, pos });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                // A float has a '.' followed by a digit ('..' is a range).
+                let is_float = i + 1 < bytes.len()
+                    && bytes[i] == '.'
+                    && bytes[i + 1].is_ascii_digit();
+                if is_float {
+                    bump!();
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        bump!();
+                    }
+                    let text: String = bytes[start..i].iter().collect();
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|e| SimError::elab(format!("{pos}: bad float {text:?}: {e}")))?;
+                    out.push(Spanned {
+                        tok: Tok::Float(v),
+                        pos,
+                    });
+                } else {
+                    let text: String = bytes[start..i].iter().collect();
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|e| SimError::elab(format!("{pos}: bad int {text:?}: {e}")))?;
+                    out.push(Spanned {
+                        tok: Tok::Int(v),
+                        pos,
+                    });
+                }
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SimError::elab(format!("{pos}: unterminated string")));
+                    }
+                    match bytes[i] {
+                        '"' => {
+                            bump!();
+                            break;
+                        }
+                        '\\' => {
+                            bump!();
+                            if i >= bytes.len() {
+                                return Err(SimError::elab(format!("{pos}: unterminated escape")));
+                            }
+                            let esc = bytes[i];
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                '\\' => '\\',
+                                '"' => '"',
+                                other => {
+                                    return Err(SimError::elab(format!(
+                                        "{pos}: unknown escape \\{other}"
+                                    )))
+                                }
+                            });
+                            bump!();
+                        }
+                        other => {
+                            s.push(other);
+                            bump!();
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    pos,
+                });
+            }
+            '{' => {
+                out.push(Spanned { tok: Tok::LBrace, pos });
+                bump!();
+            }
+            '}' => {
+                out.push(Spanned { tok: Tok::RBrace, pos });
+                bump!();
+            }
+            '[' => {
+                out.push(Spanned { tok: Tok::LBracket, pos });
+                bump!();
+            }
+            ']' => {
+                out.push(Spanned { tok: Tok::RBracket, pos });
+                bump!();
+            }
+            '(' => {
+                out.push(Spanned { tok: Tok::LParen, pos });
+                bump!();
+            }
+            ')' => {
+                out.push(Spanned { tok: Tok::RParen, pos });
+                bump!();
+            }
+            ';' => {
+                out.push(Spanned { tok: Tok::Semi, pos });
+                bump!();
+            }
+            ':' => {
+                out.push(Spanned { tok: Tok::Colon, pos });
+                bump!();
+            }
+            ',' => {
+                out.push(Spanned { tok: Tok::Comma, pos });
+                bump!();
+            }
+            '.' if bytes.get(i + 1) == Some(&'.') => {
+                out.push(Spanned { tok: Tok::DotDot, pos });
+                bump!();
+                bump!();
+            }
+            '.' => {
+                out.push(Spanned { tok: Tok::Dot, pos });
+                bump!();
+            }
+            '=' => {
+                out.push(Spanned { tok: Tok::Eq, pos });
+                bump!();
+            }
+            '-' if bytes.get(i + 1) == Some(&'>') => {
+                out.push(Spanned { tok: Tok::Arrow, pos });
+                bump!();
+                bump!();
+            }
+            '-' => {
+                out.push(Spanned { tok: Tok::Minus, pos });
+                bump!();
+            }
+            '+' => {
+                out.push(Spanned { tok: Tok::Plus, pos });
+                bump!();
+            }
+            '*' => {
+                out.push(Spanned { tok: Tok::Star, pos });
+                bump!();
+            }
+            '/' => {
+                out.push(Spanned { tok: Tok::Slash, pos });
+                bump!();
+            }
+            '%' => {
+                out.push(Spanned { tok: Tok::Percent, pos });
+                bump!();
+            }
+            other => {
+                return Err(SimError::elab(format!(
+                    "{pos}: unexpected character {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("module foo in out"),
+            vec![
+                Tok::KwModule,
+                Tok::Ident("foo".into()),
+                Tok::KwIn,
+                Tok::KwOut
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        assert_eq!(
+            toks("0..4 1.5 42"),
+            vec![
+                Tok::Int(0),
+                Tok::DotDot,
+                Tok::Int(4),
+                Tok::Float(1.5),
+                Tok::Int(42)
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_vs_minus() {
+        assert_eq!(toks("a -> b - c"), vec![
+            Tok::Ident("a".into()),
+            Tok::Arrow,
+            Tok::Ident("b".into()),
+            Tok::Minus,
+            Tok::Ident("c".into()),
+        ]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a // comment\n b /* block\n comment */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""hello \"w\"" "#),
+            vec![Tok::Str("hello \"w\"".into())]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn errors_report_position() {
+        let err = lex("a\n @").unwrap_err();
+        assert!(err.to_string().contains("2:2"));
+    }
+
+    #[test]
+    fn unterminated_constructs_error() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* abc").is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! The programmable NIC composition: a UPL LIR core running firmware,
+//! an address splitter, shared NIC SRAM, and the [`crate::nicdev`]
+//! MAC/DMA-assist device — the paper's Tigon-2-class target (§3.5).
+//!
+//! ```text
+//!                 core (firmware) ── memstage
+//!                                       │
+//!                                   splitter ──lo── SRAM (mem_array, 2 ports)
+//!                                       │hi            │
+//!                                    nic_dev ──────────┘
+//!                                    │     │
+//!                              eth tx/rx  pci master
+//! ```
+
+use crate::firmware::MMIO_BASE;
+use crate::nicdev::nic_dev;
+use crate::splitter::splitter;
+use liberty_core::prelude::*;
+use liberty_upl::core::{build_core, CoreConfig, CoreHandles};
+use liberty_upl::isa::Program;
+use std::sync::Arc;
+
+/// Connection points and observability handles of a built NIC.
+pub struct ProgNic {
+    /// The firmware core's handles.
+    pub core: CoreHandles,
+    /// The NIC device instance (assist counters live here).
+    pub dev: InstanceId,
+    /// Connect the Ethernet segment's `rx` here: `(instance, "eth_rx")`
+    /// is wired already — these are the *outward* attach points.
+    pub eth_tx: (InstanceId, &'static str),
+    /// Incoming frames connect to this input.
+    pub eth_rx: (InstanceId, &'static str),
+    /// PCI master request side.
+    pub pci_req: (InstanceId, &'static str),
+    /// PCI master response side.
+    pub pci_resp: (InstanceId, &'static str),
+}
+
+/// Build a programmable NIC under `prefix` with the given firmware and
+/// station MAC.
+pub fn build_prognic(
+    b: &mut NetlistBuilder,
+    prefix: &str,
+    mac: u64,
+    firmware: Arc<Program>,
+) -> Result<ProgNic, SimError> {
+    let n = |s: &str| format!("{prefix}{s}");
+    let cfg = CoreConfig {
+        external_mem: true,
+        ..CoreConfig::default()
+    };
+    let (core, exported) = build_core(b, &n("cpu."), firmware, &cfg)?;
+    let mem_req = exported
+        .iter()
+        .find(|e| e.name == "mem_req")
+        .expect("external core exports mem_req");
+    let mem_resp = exported
+        .iter()
+        .find(|e| e.name == "mem_resp")
+        .expect("external core exports mem_resp");
+
+    let (sp_spec, sp_mod) = splitter(&Params::new().with("split", MMIO_BASE as i64))?;
+    let sp = b.add(n("split"), sp_spec, sp_mod)?;
+    b.connect(mem_req.inst, &mem_req.port, sp, "req")?;
+    b.connect(sp, "resp", mem_resp.inst, &mem_resp.port)?;
+
+    // NIC SRAM: two request connections (core via splitter, device).
+    let (sr_spec, sr_mod) = liberty_pcl::memarray::mem_array(
+        &Params::new().with("words", MMIO_BASE as i64).with("latency", 1i64),
+    )?;
+    let sram = b.add(n("sram"), sr_spec, sr_mod)?;
+    b.connect(sp, "lo_req", sram, "req")?;
+    b.connect(sram, "resp", sp, "lo_resp")?;
+
+    let (d_spec, d_mod) = nic_dev(&Params::new().with("mac", mac as i64))?;
+    let dev = b.add(n("dev"), d_spec, d_mod)?;
+    b.connect(sp, "hi_req", dev, "mmio_req")?;
+    b.connect(dev, "mmio_resp", sp, "hi_resp")?;
+    b.connect(dev, "sram_req", sram, "req")?;
+    b.connect(sram, "resp", dev, "sram_resp")?;
+
+    Ok(ProgNic {
+        core,
+        dev,
+        eth_tx: (dev, "eth_tx"),
+        eth_rx: (dev, "eth_rx"),
+        pci_req: (dev, "pci_req"),
+        pci_resp: (dev, "pci_resp"),
+    })
+}

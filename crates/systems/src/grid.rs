@@ -1,0 +1,154 @@
+//! The grids-in-a-box of paper Fig. 2(c): many GP nodes with local
+//! memories, DMA-based message passing over a board-to-board fabric
+//! (CCL mesh), plus per-node compute cores — "sophisticated network
+//! interface controllers, interconnected with high-speed fabrics".
+//!
+//! The communication workload is a halo exchange: every node DMAs a
+//! boundary strip to its successor. The compute workload is the dot
+//! product kernel on each node's private core (a FLOP-proxy).
+
+use liberty_ccl::topology::build_grid;
+use liberty_core::prelude::*;
+use liberty_mpl::dma::{dma, DmaCmd};
+use liberty_pcl::memarray::{mem_array_shared, SharedMem};
+use liberty_pcl::source;
+use liberty_upl::core::{build_core, CoreConfig, CoreHandles};
+use liberty_upl::program;
+use std::sync::Arc;
+
+/// Grid configuration.
+#[derive(Clone, Debug)]
+pub struct GridConfig {
+    /// Fabric width.
+    pub w: u32,
+    /// Fabric height.
+    pub h: u32,
+    /// Halo strip length (words exchanged per node).
+    pub halo: u64,
+    /// Dot-product length for the compute cores (0 = no compute cores).
+    pub compute: u64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            w: 4,
+            h: 4,
+            halo: 16,
+            compute: 32,
+        }
+    }
+}
+
+/// Where the halo strip lives in each node's memory.
+pub const HALO_SRC: u64 = 0;
+/// Where a neighbour's strip is received.
+pub const HALO_DST: u64 = 256;
+
+/// Handles to a built grid.
+pub struct Grid {
+    /// Per node local memory.
+    pub mems: Vec<SharedMem>,
+    /// Per node DMA engine.
+    pub dmas: Vec<InstanceId>,
+    /// Per node compute core (when configured).
+    pub cores: Vec<CoreHandles>,
+    /// Node count.
+    pub nodes: u32,
+    /// Halo words per node.
+    pub halo: u64,
+}
+
+impl Grid {
+    /// Seed each node's halo strip with a recognizable pattern.
+    pub fn seed(&self) {
+        for (id, mem) in self.mems.iter().enumerate() {
+            let mut m = mem.lock();
+            for i in 0..self.halo {
+                m[(HALO_SRC + i) as usize] = (id as u64 + 1) * 10_000 + i;
+            }
+        }
+    }
+
+    /// Verify that every node received its predecessor's strip.
+    pub fn check_halo(&self) -> Result<(), String> {
+        for id in 0..self.nodes as usize {
+            let pred = (id + self.nodes as usize - 1) % self.nodes as usize;
+            let m = self.mems[id].lock();
+            for i in 0..self.halo {
+                let got = m[(HALO_DST + i) as usize];
+                let want = (pred as u64 + 1) * 10_000 + i;
+                if got != want {
+                    return Err(format!("node {id} word {i}: {got} != {want}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Build the grid under `prefix`.
+pub fn build_grid_system(
+    b: &mut NetlistBuilder,
+    prefix: &str,
+    cfg: &GridConfig,
+) -> Result<Grid, SimError> {
+    let fabric = build_grid(b, &format!("{prefix}fab."), cfg.w, cfg.h, 4, 1, false)?;
+    let nodes = fabric.nodes;
+    let mut mems = Vec::new();
+    let mut dmas = Vec::new();
+    let mut cores = Vec::new();
+    for id in 0..nodes {
+        let np = format!("{prefix}n{id}.");
+        let (m_spec, m_mod, mem) = mem_array_shared(
+            &Params::new().with("words", 1024i64).with("latency", 2i64),
+        )?;
+        let m = b.add(format!("{np}mem"), m_spec, m_mod)?;
+        let (d_spec, d_mod) = dma(id);
+        let d = b.add(format!("{np}dma"), d_spec, d_mod)?;
+        b.connect(d, "mem_req", m, "req")?;
+        b.connect(m, "resp", d, "mem_resp")?;
+        let (ti, tp) = fabric.local_in[id as usize];
+        b.connect(d, "net_tx", ti, tp)?;
+        let (fo, fp) = fabric.local_out[id as usize];
+        b.connect(fo, fp, d, "net_rx")?;
+        // The halo-exchange command: strip to the successor node.
+        let cmd = DmaCmd {
+            src_addr: HALO_SRC,
+            len: cfg.halo,
+            dst_node: (id + 1) % nodes,
+            dst_addr: HALO_DST,
+            tag: u64::from(id),
+        };
+        let (s_spec, s_mod) = source::script(vec![cmd.into_value()]);
+        let s = b.add(format!("{np}host"), s_spec, s_mod)?;
+        b.connect(s, "out", d, "cmd")?;
+        mems.push(mem);
+        dmas.push(d);
+        // Compute core: private dot product (FLOP proxy).
+        if cfg.compute > 0 {
+            let (h, _) = build_core(
+                b,
+                &format!("{np}cpu."),
+                Arc::new(program::dotprod(cfg.compute)),
+                &CoreConfig::default(),
+            )?;
+            cores.push(h);
+        }
+    }
+    Ok(Grid {
+        mems,
+        dmas,
+        cores,
+        nodes,
+        halo: cfg.halo,
+    })
+}
+
+/// Build a standalone grid simulator (seeded).
+pub fn grid_simulator(cfg: &GridConfig, sched: SchedKind) -> Result<(Simulator, Grid), SimError> {
+    let mut b = NetlistBuilder::new();
+    let grid = build_grid_system(&mut b, "", cfg)?;
+    grid.seed();
+    Ok((Simulator::new(b.build()?, sched), grid))
+}

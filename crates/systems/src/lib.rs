@@ -1,0 +1,69 @@
+//! # liberty-systems — the paper's Fig. 2 target systems
+//!
+//! Each system in Fig. 2 is assembled purely from the component
+//! libraries, "in a plug-and-play fashion" (paper §3):
+//!
+//! * [`cmp`] — Fig. 2(a): chip multiprocessor (UPL cores + MPL coherent
+//!   memory + CCL on-chip network with NI models);
+//! * [`sensor`] — Fig. 2(b): sensor nodes (GP + DSP cores on a coherent
+//!   node bus, radio NI, CCL wireless fabric);
+//! * [`grid`] — Fig. 2(c): grids-in-a-box (local memories + MPL DMA over
+//!   a CCL mesh, UPL compute cores);
+//! * [`sos`] — Fig. 2(d): the hierarchical system of systems spanning
+//!   all three fabrics;
+//! * [`programs`] / [`radio`] — the shared-memory workloads and the NI
+//!   glue modules the systems use.
+//!
+//! [`full_registry`] assembles a registry with every library's templates,
+//! for LSS-driven builds.
+
+#![warn(missing_docs)]
+
+pub mod cmp;
+pub mod grid;
+pub mod programs;
+pub mod radio;
+pub mod sensor;
+pub mod sos;
+
+use liberty_core::prelude::Registry;
+
+/// A registry loaded with every component library (PCL, UPL, CCL, MPL,
+/// NIL) plus the system-level glue templates.
+pub fn full_registry() -> Registry {
+    let mut reg = Registry::new();
+    liberty_pcl::register_all(&mut reg);
+    liberty_upl::register_all(&mut reg);
+    liberty_ccl::register_all(&mut reg);
+    liberty_mpl::register_all(&mut reg);
+    liberty_nil::register_all(&mut reg);
+    reg.register(
+        "systems",
+        "radio_ni",
+        "sensor-node radio NI; params: my, base, flag, data, len",
+        radio::radio_ni,
+    );
+    reg.register(
+        "systems",
+        "bridge",
+        "fabric-to-fabric packet bridge; params: dst",
+        radio::bridge,
+    );
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_registry_spans_all_libraries() {
+        let reg = full_registry();
+        for t in ["queue", "lir_core", "mesh_noc", "order_ctl", "ether", "radio_ni"] {
+            assert!(reg.get(t).is_ok(), "missing {t}");
+        }
+        let libs: std::collections::BTreeSet<_> =
+            reg.iter().map(|t| t.library.clone()).collect();
+        assert!(libs.len() >= 6, "libraries present: {libs:?}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Shared-memory multiprocessor workloads (LIR assembly) for the CMP and
+//! sensor-node systems: flag-synchronized producer/consumer pairs whose
+//! correctness depends on the MPL coherence protocol.
+
+use liberty_upl::asm::assemble;
+use liberty_upl::isa::Program;
+
+/// Shared-memory layout used by producer/consumer pair `k`: each pair
+/// owns a disjoint flag, result word, and data region.
+pub mod layout {
+    /// Data region base of pair `k`.
+    pub fn region(k: u64) -> u64 {
+        256 + k * 256
+    }
+    /// Synchronization flag of pair `k`.
+    pub fn flag(k: u64) -> u64 {
+        8 + 2 * k
+    }
+    /// Consumer result word of pair `k`.
+    pub fn result(k: u64) -> u64 {
+        9 + 2 * k
+    }
+}
+
+/// Producer of pair `k`: writes `2 i + 5` for `i < n` into the pair's
+/// region, then raises the pair's flag.
+pub fn producer(n: u64, k: u64) -> Program {
+    let region = layout::region(k);
+    let flag = layout::flag(k);
+    let src = format!(
+        "        li   r1, 0
+                 li   r2, {n}
+                 li   r3, {region}
+         prod:   shli r4, r1, 1
+                 addi r4, r4, 5
+                 add  r5, r3, r1
+                 st   r4, 0(r5)
+                 addi r1, r1, 1
+                 blt  r1, r2, prod
+                 li   r6, 1
+                 st   r6, {flag}(r0)
+                 halt"
+    );
+    assemble(&format!("producer_{n}_{k}"), &src).expect("producer assembles")
+}
+
+/// Consumer of pair `k`: spins on the pair's flag (exercising snoop
+/// invalidation), then sums the region into the pair's result word.
+pub fn consumer(n: u64, k: u64) -> Program {
+    let region = layout::region(k);
+    let flag = layout::flag(k);
+    let result = layout::result(k);
+    let src = format!(
+        "        li   r7, 0
+         poll:   ld   r2, {flag}(r0)
+                 beq  r2, r0, poll
+                 li   r1, 0
+                 li   r2, {n}
+                 li   r3, {region}
+                 li   r6, 0
+         sum:    add  r5, r3, r1
+                 ld   r4, 0(r5)
+                 add  r6, r6, r4
+                 addi r1, r1, 1
+                 blt  r1, r2, sum
+                 st   r6, {result}(r0)
+                 halt"
+    );
+    assemble(&format!("consumer_{n}_{k}"), &src).expect("consumer assembles")
+}
+
+/// The expected consumer result for `n` elements.
+pub fn expected_sum(n: u64) -> u64 {
+    (0..n).map(|i| 2 * i + 5).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liberty_upl::emu::Machine;
+
+    #[test]
+    fn pair_is_correct_sequentially() {
+        // Run producer then consumer on ONE memory image (the emulator
+        // stands in for coherent shared memory).
+        let n = 12;
+        let p = producer(n, 0);
+        let c = consumer(n, 0);
+        let mut m = Machine::new(&p);
+        m.run(&p, 100_000).unwrap();
+        let mut m2 = Machine::new(&c);
+        let n_words = m2.mem.len().min(m.mem.len());
+        m2.mem[..n_words].copy_from_slice(&m.mem[..n_words]);
+        m2.run(&c, 100_000).unwrap();
+        assert_eq!(m2.mem[layout::result(0) as usize], expected_sum(n));
+    }
+}

@@ -1,0 +1,136 @@
+//! The sensor network of paper Fig. 2(b): each node pairs a
+//! general-purpose core with a DSP core over coherent shared memory (the
+//! node's "bus"), a radio NI watches for finished samples, and all nodes
+//! share one CCL wireless channel back to a base station.
+
+use crate::programs;
+use crate::radio::radio_ni;
+use liberty_ccl::traffic::traffic_sink;
+use liberty_ccl::wireless::wireless;
+use liberty_core::prelude::*;
+use liberty_mpl::shared_memory;
+use liberty_upl::core::{build_core, CoreConfig, CoreHandles};
+use std::sync::Arc;
+
+/// Sensor network configuration.
+#[derive(Clone, Debug)]
+pub struct SensorConfig {
+    /// Number of sensor nodes (base station is extra, at wireless
+    /// destination 0).
+    pub nodes: u32,
+    /// Samples per node (items the GP core produces and the DSP core
+    /// reduces).
+    pub samples: u64,
+    /// Wireless loss probability.
+    pub loss: f64,
+    /// When true, no base-station sink is built: wireless rx connection 0
+    /// is left for an external consumer (the system-of-systems bridges
+    /// the field into another fabric).
+    pub external_base: bool,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        SensorConfig {
+            nodes: 3,
+            samples: 8,
+            loss: 0.0,
+            external_base: false,
+        }
+    }
+}
+
+/// Handles to a built sensor network.
+pub struct SensorNet {
+    /// Per node: (GP core, DSP core).
+    pub nodes: Vec<(CoreHandles, CoreHandles)>,
+    /// Radio NI instances.
+    pub radios: Vec<InstanceId>,
+    /// The wireless channel.
+    pub air: InstanceId,
+    /// The base-station sink (absent with `external_base`).
+    pub base: Option<InstanceId>,
+    /// Samples per node.
+    pub samples: u64,
+}
+
+/// Build the sensor network under `prefix`.
+pub fn build_sensor_net(
+    b: &mut NetlistBuilder,
+    prefix: &str,
+    cfg: &SensorConfig,
+) -> Result<SensorNet, SimError> {
+    let (w_spec, w_mod) = wireless(&Params::new().with("loss", cfg.loss))?;
+    let air = b.add(format!("{prefix}air"), w_spec, w_mod)?;
+    // Base station: wireless rx connection 0 (or left to the caller).
+    let base = if cfg.external_base {
+        None
+    } else {
+        let (bs_spec, bs_mod) = traffic_sink(Some(0));
+        let base = b.add(format!("{prefix}base"), bs_spec, bs_mod)?;
+        b.connect(air, "rx", base, "in")?;
+        Some(base)
+    };
+
+    let mut nodes = Vec::new();
+    let mut radios = Vec::new();
+    for i in 0..cfg.nodes {
+        let np = format!("{prefix}node{i}.");
+        // The node's bus: coherent shared memory with three ports
+        // (GP core, DSP core, radio NI).
+        let shm = shared_memory(
+            b,
+            &format!("{np}bus."),
+            3,
+            &Params::new().with("latency", 2i64).with("words", 2048i64),
+        )?;
+        let mut attach = |c: usize, prog, name: &str| -> Result<CoreHandles, SimError> {
+            let core_cfg = CoreConfig {
+                external_mem: true,
+                ..CoreConfig::default()
+            };
+            let (h, exported) = build_core(b, &format!("{np}{name}."), Arc::new(prog), &core_cfg)?;
+            let mem_req = exported.iter().find(|e| e.name == "mem_req").expect("exported");
+            let mem_resp = exported.iter().find(|e| e.name == "mem_resp").expect("exported");
+            b.connect(mem_req.inst, &mem_req.port, shm.caches[c], "req")?;
+            b.connect(shm.caches[c], "resp", mem_resp.inst, &mem_resp.port)?;
+            Ok(h)
+        };
+        // GP senses/preprocesses (producer), DSP reduces (consumer).
+        let gp = attach(0, programs::producer(cfg.samples, 0), "gp")?;
+        let dsp = attach(1, programs::consumer(cfg.samples, 0), "dsp")?;
+        // Radio NI: polls the DSP's result word, sends it to the base.
+        let result = programs::layout::result(0);
+        let (r_spec, r_mod) = radio_ni(
+            &Params::new()
+                .with("my", (i + 1) as i64)
+                .with("base", 0i64)
+                .with("flag", result as i64)
+                .with("data", result as i64)
+                .with("len", 1i64),
+        )?;
+        let radio = b.add(format!("{np}radio"), r_spec, r_mod)?;
+        b.connect(radio, "mem_req", shm.caches[2], "req")?;
+        b.connect(shm.caches[2], "resp", radio, "mem_resp")?;
+        b.connect(radio, "tx", air, "tx")?;
+        nodes.push((gp, dsp));
+        radios.push(radio);
+    }
+    Ok(SensorNet {
+        nodes,
+        radios,
+        air,
+        base,
+        samples: cfg.samples,
+    })
+}
+
+/// Build a standalone sensor-network simulator.
+pub fn sensor_simulator(
+    cfg: &SensorConfig,
+    sched: SchedKind,
+) -> Result<(Simulator, SensorNet), SimError> {
+    let mut b = NetlistBuilder::new();
+    let net = build_sensor_net(&mut b, "", cfg)?;
+    Ok((Simulator::new(b.build()?, sched), net))
+}

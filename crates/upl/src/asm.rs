@@ -1,0 +1,330 @@
+//! A two-pass assembler for LIR.
+//!
+//! Syntax, one instruction per line; `#` starts a comment:
+//!
+//! ```text
+//!       li   r1, 0
+//!       li   r2, 10
+//! loop: addi r1, r1, 1
+//!       blt  r1, r2, loop
+//!       st   r1, 0(r0)
+//!       halt
+//! ```
+//!
+//! Mnemonics: ALU (`add sub and or xor shl shr mul slt sltu`, plus `-i`
+//! immediate forms), `li`, `ld rd, off(rs1)`, `st rs2, off(rs1)`,
+//! `beq bne blt bge rs1, rs2, label`, `jal rd, label`,
+//! `jalr rd, rs1, off`, `halt`, `nop`.
+
+use crate::isa::{parse_reg, AluOp, BrCond, Instr, Program};
+use liberty_core::prelude::SimError;
+use std::collections::HashMap;
+
+fn split_operands(s: &str) -> Vec<String> {
+    s.split(',').map(|p| p.trim().to_owned()).filter(|p| !p.is_empty()).collect()
+}
+
+fn parse_imm(s: &str) -> Result<i64, SimError> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| SimError::model(format!("bad immediate {s:?}")))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// Parse `off(rN)` into `(off, reg)`.
+fn parse_mem_operand(s: &str) -> Result<(i64, u8), SimError> {
+    let open = s
+        .find('(')
+        .ok_or_else(|| SimError::model(format!("bad memory operand {s:?} (expected off(rN))")))?;
+    if !s.ends_with(')') {
+        return Err(SimError::model(format!("bad memory operand {s:?}")));
+    }
+    let off_str = &s[..open];
+    let off = if off_str.trim().is_empty() { 0 } else { parse_imm(off_str)? };
+    let reg = parse_reg(s[open + 1..s.len() - 1].trim())?;
+    Ok((off, reg))
+}
+
+/// Assemble LIR source into a [`Program`].
+pub fn assemble(name: &str, src: &str) -> Result<Program, SimError> {
+    // Pass 1: strip comments, collect labels and bare instruction lines.
+    let mut labels: HashMap<String, u64> = HashMap::new();
+    let mut lines: Vec<(usize, String)> = Vec::new(); // (source line no, text)
+    for (ln, raw) in src.lines().enumerate() {
+        let mut text = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim()
+        .to_owned();
+        if text.is_empty() {
+            continue;
+        }
+        // Labels may share a line with an instruction.
+        while let Some(colon) = text.find(':') {
+            let label = text[..colon].trim().to_owned();
+            if label.is_empty() || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(SimError::model(format!(
+                    "line {}: bad label {label:?}",
+                    ln + 1
+                )));
+            }
+            if labels.insert(label.clone(), lines.len() as u64).is_some() {
+                return Err(SimError::model(format!(
+                    "line {}: duplicate label {label:?}",
+                    ln + 1
+                )));
+            }
+            text = text[colon + 1..].trim().to_owned();
+        }
+        if !text.is_empty() {
+            lines.push((ln + 1, text));
+        }
+    }
+
+    let resolve = |tok: &str, ln: usize| -> Result<u64, SimError> {
+        if let Some(&t) = labels.get(tok) {
+            Ok(t)
+        } else {
+            parse_imm(tok)
+                .map(|v| v as u64)
+                .map_err(|_| SimError::model(format!("line {ln}: unknown label {tok:?}")))
+        }
+    };
+
+    // Pass 2: encode.
+    let mut instrs = Vec::with_capacity(lines.len());
+    for (ln, text) in &lines {
+        let ln = *ln;
+        let (mn, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (text.as_str(), ""),
+        };
+        let ops = split_operands(rest);
+        let need = |n: usize| -> Result<(), SimError> {
+            if ops.len() != n {
+                Err(SimError::model(format!(
+                    "line {ln}: {mn} expects {n} operand(s), got {}",
+                    ops.len()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        let instr = match mn {
+            "nop" => {
+                need(0)?;
+                Instr::Nop
+            }
+            "halt" => {
+                need(0)?;
+                Instr::Halt
+            }
+            "li" => {
+                need(2)?;
+                Instr::Li {
+                    rd: parse_reg(&ops[0])?,
+                    imm: parse_imm(&ops[1])?,
+                }
+            }
+            "ld" => {
+                need(2)?;
+                let (off, rs1) = parse_mem_operand(&ops[1])?;
+                Instr::Ld {
+                    rd: parse_reg(&ops[0])?,
+                    rs1,
+                    off,
+                }
+            }
+            "st" => {
+                need(2)?;
+                let (off, rs1) = parse_mem_operand(&ops[1])?;
+                Instr::St {
+                    rs2: parse_reg(&ops[0])?,
+                    rs1,
+                    off,
+                }
+            }
+            "jal" => {
+                need(2)?;
+                Instr::Jal {
+                    rd: parse_reg(&ops[0])?,
+                    target: resolve(&ops[1], ln)?,
+                }
+            }
+            "jalr" => {
+                need(3)?;
+                Instr::Jalr {
+                    rd: parse_reg(&ops[0])?,
+                    rs1: parse_reg(&ops[1])?,
+                    off: parse_imm(&ops[2])?,
+                }
+            }
+            "beq" | "bne" | "blt" | "bge" => {
+                need(3)?;
+                let cond = match mn {
+                    "beq" => BrCond::Eq,
+                    "bne" => BrCond::Ne,
+                    "blt" => BrCond::Lt,
+                    _ => BrCond::Ge,
+                };
+                Instr::Br {
+                    cond,
+                    rs1: parse_reg(&ops[0])?,
+                    rs2: parse_reg(&ops[1])?,
+                    target: resolve(&ops[2], ln)?,
+                }
+            }
+            m => {
+                // ALU register and immediate forms.
+                if let Some(stem) = m.strip_suffix('i').and_then(AluOp::parse) {
+                    need(3)?;
+                    Instr::AluI {
+                        op: stem,
+                        rd: parse_reg(&ops[0])?,
+                        rs1: parse_reg(&ops[1])?,
+                        imm: parse_imm(&ops[2])?,
+                    }
+                } else if let Some(op) = AluOp::parse(m) {
+                    need(3)?;
+                    Instr::Alu {
+                        op,
+                        rd: parse_reg(&ops[0])?,
+                        rs1: parse_reg(&ops[1])?,
+                        rs2: parse_reg(&ops[2])?,
+                    }
+                } else {
+                    return Err(SimError::model(format!(
+                        "line {ln}: unknown mnemonic {mn:?}"
+                    )));
+                }
+            }
+        };
+        instrs.push(instr);
+    }
+
+    // Validate branch targets.
+    for (i, ins) in instrs.iter().enumerate() {
+        let t = match ins {
+            Instr::Br { target, .. } | Instr::Jal { target, .. } => Some(*target),
+            _ => None,
+        };
+        if let Some(t) = t {
+            if t as usize >= instrs.len() {
+                return Err(SimError::model(format!(
+                    "instruction {i}: target {t} beyond program end ({})",
+                    instrs.len()
+                )));
+            }
+        }
+    }
+
+    Ok(Program {
+        name: name.to_owned(),
+        instrs,
+        mem_words: 4096,
+        init_mem: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_program_assembles() {
+        let p = assemble(
+            "t",
+            r#"
+            # count to ten
+                  li   r1, 0
+                  li   r2, 10
+            loop: addi r1, r1, 1
+                  blt  r1, r2, loop
+                  halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.instrs.len(), 5);
+        assert_eq!(
+            p.instrs[3],
+            Instr::Br {
+                cond: BrCond::Lt,
+                rs1: 1,
+                rs2: 2,
+                target: 2
+            }
+        );
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble("t", "ld r1, 8(r2)\nst r3, -4(r4)\nld r5, (r6)\nhalt").unwrap();
+        assert_eq!(p.instrs[0], Instr::Ld { rd: 1, rs1: 2, off: 8 });
+        assert_eq!(p.instrs[1], Instr::St { rs2: 3, rs1: 4, off: -4 });
+        assert_eq!(p.instrs[2], Instr::Ld { rd: 5, rs1: 6, off: 0 });
+    }
+
+    #[test]
+    fn label_on_own_line_and_shared() {
+        let p = assemble(
+            "t",
+            "start:\n nop\nnext: nop\n jal r0, start\n jal r1, next\nhalt",
+        )
+        .unwrap();
+        assert_eq!(p.instrs[2], Instr::Jal { rd: 0, target: 0 });
+        assert_eq!(p.instrs[3], Instr::Jal { rd: 1, target: 1 });
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("t", "li r1, 0x10\nli r2, -3\nhalt").unwrap();
+        assert_eq!(p.instrs[0], Instr::Li { rd: 1, imm: 16 });
+        assert_eq!(p.instrs[1], Instr::Li { rd: 2, imm: -3 });
+    }
+
+    #[test]
+    fn immediate_alu_forms() {
+        let p = assemble("t", "addi r1, r2, 5\nshli r3, r4, 2\nhalt").unwrap();
+        assert_eq!(
+            p.instrs[0],
+            Instr::AluI {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 2,
+                imm: 5
+            }
+        );
+        assert_eq!(
+            p.instrs[1],
+            Instr::AluI {
+                op: AluOp::Shl,
+                rd: 3,
+                rs1: 4,
+                imm: 2
+            }
+        );
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = assemble("t", "nop\nfrob r1, r2\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        assert!(assemble("t", "addi r1, r2\n").is_err()); // operand count
+        assert!(assemble("t", "beq r1, r2, nowhere\n").is_err()); // label
+        assert!(assemble("t", "x: nop\nx: nop\n").is_err()); // dup label
+    }
+
+    #[test]
+    fn out_of_range_target_rejected() {
+        assert!(assemble("t", "jal r0, 99\n").is_err());
+    }
+}

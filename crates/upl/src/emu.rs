@@ -1,0 +1,209 @@
+//! Functional LIR emulator — the golden model.
+//!
+//! This is the "Instruction Set Emulation" box of paper Fig. 1: structural
+//! microarchitecture models get their instruction *semantics* from here
+//! (via shared helpers in [`crate::isa`]), while timing comes from the
+//! structure. It also serves as the reference for equivalence tests: a
+//! structural core must retire exactly the same architectural state.
+
+use crate::isa::{Instr, Program};
+use liberty_core::prelude::SimError;
+
+/// Architectural machine state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Machine {
+    /// General-purpose registers; `regs[0]` stays zero.
+    pub regs: [u64; 32],
+    /// Program counter (instruction index).
+    pub pc: u64,
+    /// Word-addressed data memory.
+    pub mem: Vec<u64>,
+    /// Set once a `halt` retires.
+    pub halted: bool,
+    /// Retired instruction count.
+    pub retired: u64,
+}
+
+impl Machine {
+    /// Fresh machine for a program (loads `init_mem`).
+    pub fn new(prog: &Program) -> Self {
+        let mut mem = vec![0u64; prog.mem_words];
+        for &(a, v) in &prog.init_mem {
+            let idx = (a as usize) % prog.mem_words;
+            mem[idx] = v;
+        }
+        Machine {
+            regs: [0; 32],
+            pc: 0,
+            mem,
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    fn read(&self, r: u8) -> u64 {
+        self.regs[r as usize]
+    }
+
+    fn write(&mut self, r: u8, v: u64) {
+        if r != 0 {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    /// Word address for a base + offset pair, wrapped into memory.
+    pub fn addr(&self, base: u64, off: i64) -> usize {
+        (base.wrapping_add(off as u64) as usize) % self.mem.len()
+    }
+
+    /// Execute one instruction. No-op once halted.
+    pub fn step(&mut self, prog: &Program) -> Result<(), SimError> {
+        if self.halted {
+            return Ok(());
+        }
+        let instr = *prog.instrs.get(self.pc as usize).ok_or_else(|| {
+            SimError::model(format!(
+                "{}: pc {} past end of program ({})",
+                prog.name,
+                self.pc,
+                prog.instrs.len()
+            ))
+        })?;
+        let mut next = self.pc + 1;
+        match instr {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let v = op.eval(self.read(rs1), self.read(rs2));
+                self.write(rd, v);
+            }
+            Instr::AluI { op, rd, rs1, imm } => {
+                let v = op.eval(self.read(rs1), imm as u64);
+                self.write(rd, v);
+            }
+            Instr::Li { rd, imm } => self.write(rd, imm as u64),
+            Instr::Ld { rd, rs1, off } => {
+                let a = self.addr(self.read(rs1), off);
+                let v = self.mem[a];
+                self.write(rd, v);
+            }
+            Instr::St { rs2, rs1, off } => {
+                let a = self.addr(self.read(rs1), off);
+                self.mem[a] = self.read(rs2);
+            }
+            Instr::Br {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                if cond.eval(self.read(rs1), self.read(rs2)) {
+                    next = target;
+                }
+            }
+            Instr::Jal { rd, target } => {
+                self.write(rd, self.pc + 1);
+                next = target;
+            }
+            Instr::Jalr { rd, rs1, off } => {
+                let t = self.read(rs1).wrapping_add(off as u64);
+                self.write(rd, self.pc + 1);
+                next = t;
+            }
+            Instr::Halt => {
+                self.halted = true;
+            }
+            Instr::Nop => {}
+        }
+        self.retired += 1;
+        self.pc = next;
+        Ok(())
+    }
+
+    /// Run until halt or `max_steps`. Returns the number of retired
+    /// instructions.
+    pub fn run(&mut self, prog: &Program, max_steps: u64) -> Result<u64, SimError> {
+        for _ in 0..max_steps {
+            if self.halted {
+                break;
+            }
+            self.step(prog)?;
+        }
+        Ok(self.retired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str) -> Machine {
+        let p = assemble("t", src).unwrap();
+        let mut m = Machine::new(&p);
+        m.run(&p, 1_000_000).unwrap();
+        assert!(m.halted, "program did not halt");
+        m
+    }
+
+    #[test]
+    fn count_loop() {
+        let m = run("li r1, 0\nli r2, 10\nloop: addi r1, r1, 1\nblt r1, r2, loop\nhalt");
+        assert_eq!(m.regs[1], 10);
+        // 2 li + 10 * (addi + blt) + halt = 23
+        assert_eq!(m.retired, 23);
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let m = run("li r1, 42\nst r1, 7(r0)\nld r2, 7(r0)\nhalt");
+        assert_eq!(m.regs[2], 42);
+        assert_eq!(m.mem[7], 42);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let m = run("li r0, 99\naddi r1, r0, 1\nhalt");
+        assert_eq!(m.regs[0], 0);
+        assert_eq!(m.regs[1], 1);
+    }
+
+    #[test]
+    fn jal_links_and_jumps() {
+        // 0: jal r1, 2 ; 1: halt ; 2: jalr r0, r1, 0 (returns to 1)
+        let m = run("jal r1, over\nhalt\nover: jalr r0, r1, 0");
+        assert_eq!(m.regs[1], 1);
+        assert_eq!(m.retired, 3);
+    }
+
+    #[test]
+    fn negative_offsets_wrap() {
+        let m = run("li r1, 5\nli r2, 123\nst r2, -2(r1)\nld r3, 3(r0)\nhalt");
+        assert_eq!(m.regs[3], 123);
+    }
+
+    #[test]
+    fn halted_machine_stays_halted() {
+        let p = assemble("t", "halt").unwrap();
+        let mut m = Machine::new(&p);
+        m.run(&p, 10).unwrap();
+        let before = m.clone();
+        m.step(&p).unwrap();
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn runaway_pc_is_an_error() {
+        let p = assemble("t", "nop").unwrap();
+        let mut m = Machine::new(&p);
+        m.step(&p).unwrap();
+        assert!(m.step(&p).is_err());
+    }
+
+    #[test]
+    fn init_mem_loaded() {
+        let mut p = assemble("t", "ld r1, 3(r0)\nhalt").unwrap();
+        p.init_mem.push((3, 77));
+        let mut m = Machine::new(&p);
+        m.run(&p, 100).unwrap();
+        assert_eq!(m.regs[1], 77);
+    }
+}

@@ -1,0 +1,43 @@
+//! # liberty-upl — Uniprocessor Library
+//!
+//! "The Uniprocessor Library contains all the building blocks for standard
+//! microprocessor models" (paper §3.2). This crate provides:
+//!
+//! * the **LIR ISA** ([`isa`]), a synthetic 64-bit RISC standing in for
+//!   the paper's IA-64/Alpha targets (substitution documented in
+//!   DESIGN.md §5), with an assembler ([`asm`]) and a functional golden
+//!   emulator ([`emu`] — the "Instruction Set Emulation" box of Fig. 1);
+//! * a **synthetic workload catalog** ([`program`]) replacing SPEC-style
+//!   binaries;
+//! * structural **pipeline stage modules** ([`fetch`], [`decode`],
+//!   [`execute`], [`memstage`]) that compose — together with PCL `queue`
+//!   instances serving as fetch buffer, instruction window, and completion
+//!   buffers (the paper's §2.1 reuse claim) — into runnable cores;
+//! * **branch predictors** ([`predictor`]) and a blocking **cache**
+//!   ([`cache`]);
+//! * the [`core`] composition that wires a whole core and registers the
+//!   `lir_core` composite template for LSS specifications.
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod cache;
+pub mod core;
+pub mod decode;
+pub mod emu;
+pub mod execute;
+pub mod fetch;
+pub mod isa;
+pub mod memstage;
+pub mod predictor;
+pub mod program;
+pub mod uop;
+
+use liberty_core::prelude::Registry;
+
+/// Register every UPL template (leaf stages and the `lir_core` composite).
+pub fn register_all(reg: &mut Registry) {
+    predictor::register(reg);
+    cache::register(reg);
+    core::register(reg);
+}

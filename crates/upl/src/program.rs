@@ -1,0 +1,357 @@
+//! The synthetic workload catalog — the substitute for SPEC-style binaries
+//! (DESIGN.md §5). Each generator produces an assembled [`Program`] that
+//! stresses a specific microarchitectural behaviour: tight loops, memory
+//! streaming, pointer chasing (cache misses), data-dependent branches
+//! (predictor stress), and multiply-accumulate kernels (the DSP profile of
+//! the sensor-node system, paper Fig. 2b).
+
+use crate::asm::assemble;
+use crate::isa::Program;
+
+/// Count from 0 to `n` in a register loop (control-heavy, no memory).
+pub fn count(n: u64) -> Program {
+    let src = format!(
+        "      li   r1, 0
+               li   r2, {n}
+         loop: addi r1, r1, 1
+               blt  r1, r2, loop
+               st   r1, 0(r0)
+               halt"
+    );
+    assemble(&format!("count_{n}"), &src).expect("count assembles")
+}
+
+/// Iterative Fibonacci storing `fib(i)` to `mem[i]` for `i < n`.
+pub fn fib(n: u64) -> Program {
+    let src = format!(
+        "      li   r1, 0
+               li   r2, 1
+               li   r3, 0
+               li   r4, {n}
+         loop: st   r1, 0(r3)
+               add  r5, r1, r2
+               add  r1, r2, r0
+               add  r2, r5, r0
+               addi r3, r3, 1
+               blt  r3, r4, loop
+               halt"
+    );
+    assemble(&format!("fib_{n}"), &src).expect("fib assembles")
+}
+
+/// `k`×`k` integer matrix multiply: `C = A * B` with `A` at 0, `B` at
+/// `k*k`, `C` at `2*k*k`. `A[i] = i + 1`, `B[i] = 2*i + 1`.
+pub fn matmul(k: u64) -> Program {
+    let src = format!(
+        "        li   r10, {k}
+                 mul  r11, r10, r10
+                 add  r12, r11, r11
+                 li   r1, 0
+         i_loop: li   r2, 0
+         j_loop: li   r3, 0
+                 li   r4, 0
+         l_loop: mul  r5, r1, r10
+                 add  r5, r5, r3
+                 ld   r6, 0(r5)
+                 mul  r7, r3, r10
+                 add  r7, r7, r2
+                 add  r7, r7, r11
+                 ld   r8, 0(r7)
+                 mul  r9, r6, r8
+                 add  r4, r4, r9
+                 addi r3, r3, 1
+                 blt  r3, r10, l_loop
+                 mul  r5, r1, r10
+                 add  r5, r5, r2
+                 add  r5, r5, r12
+                 st   r4, 0(r5)
+                 addi r2, r2, 1
+                 blt  r2, r10, j_loop
+                 addi r1, r1, 1
+                 blt  r1, r10, i_loop
+                 halt"
+    );
+    let mut p = assemble(&format!("matmul_{k}"), &src).expect("matmul assembles");
+    let kk = (k * k) as usize;
+    p.mem_words = p.mem_words.max(3 * kk + 16);
+    for i in 0..kk {
+        p.init_mem.push((i as u64, i as u64 + 1));
+        p.init_mem.push(((kk + i) as u64, 2 * i as u64 + 1));
+    }
+    p
+}
+
+/// Traverse a pseudo-random singly linked list of `nodes` cells for
+/// `hops` steps (cache-hostile access pattern). The final node address is
+/// stored to `mem[node area + 1]`... specifically to word `nodes`.
+pub fn pointer_chase(nodes: u64, hops: u64) -> Program {
+    let src = format!(
+        "      li   r1, 0
+               li   r2, {hops}
+               li   r3, 0
+         loop: ld   r1, 0(r1)
+               addi r3, r3, 1
+               blt  r3, r2, loop
+               st   r1, {nodes}(r0)
+               halt"
+    );
+    let mut p = assemble(&format!("chase_{nodes}_{hops}"), &src).expect("chase assembles");
+    p.mem_words = p.mem_words.max(nodes as usize + 16);
+    // Deterministic permutation cycle via an LCG-shuffled order.
+    let mut order: Vec<u64> = (0..nodes).collect();
+    let mut state = 0x2545F4914F6CDD1Du64;
+    for i in (1..nodes as usize).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    // Build one cycle through all nodes in shuffled order.
+    for w in 0..nodes as usize {
+        let from = order[w];
+        let to = order[(w + 1) % nodes as usize];
+        p.init_mem.push((from, to));
+    }
+    p
+}
+
+/// `n` iterations of an xorshift PRNG with a data-dependent branch on the
+/// low bit (hard for simple predictors); the taken count lands in
+/// `mem[0]`.
+pub fn branchy(n: u64) -> Program {
+    let src = format!(
+        "      li   r1, 0
+               li   r2, {n}
+               li   r3, 88172645463325252
+               li   r6, 0
+         loop: shli r4, r3, 13
+               xor  r3, r3, r4
+               shri r4, r3, 7
+               xor  r3, r3, r4
+               shli r4, r3, 17
+               xor  r3, r3, r4
+               andi r4, r3, 1
+               beq  r4, r0, skip
+               addi r6, r6, 1
+         skip: addi r1, r1, 1
+               blt  r1, r2, loop
+               st   r6, 0(r0)
+               halt"
+    );
+    assemble(&format!("branchy_{n}"), &src).expect("branchy assembles")
+}
+
+/// Copy `n` words from address 0 to address `n` (streaming memory).
+pub fn memcpy_prog(n: u64) -> Program {
+    let src = format!(
+        "      li   r1, 0
+               li   r2, {n}
+         loop: ld   r3, 0(r1)
+               st   r3, {n}(r1)
+               addi r1, r1, 1
+               blt  r1, r2, loop
+               halt"
+    );
+    let mut p = assemble(&format!("memcpy_{n}"), &src).expect("memcpy assembles");
+    p.mem_words = p.mem_words.max(2 * n as usize + 16);
+    for i in 0..n {
+        p.init_mem.push((i, 3 * i + 1));
+    }
+    p
+}
+
+/// Dot product of two `n`-vectors (the DSP multiply-accumulate kernel);
+/// result stored to `mem[2*n]`.
+pub fn dotprod(n: u64) -> Program {
+    let two_n = 2 * n;
+    let src = format!(
+        "      li   r1, 0
+               li   r2, {n}
+               li   r4, 0
+         loop: ld   r5, 0(r1)
+               ld   r6, {n}(r1)
+               mul  r7, r5, r6
+               add  r4, r4, r7
+               addi r1, r1, 1
+               blt  r1, r2, loop
+               st   r4, {two_n}(r0)
+               halt"
+    );
+    let mut p = assemble(&format!("dotprod_{n}"), &src).expect("dotprod assembles");
+    p.mem_words = p.mem_words.max(2 * n as usize + 16);
+    for i in 0..n {
+        p.init_mem.push((i, i + 1));
+        p.init_mem.push((n + i, i + 2));
+    }
+    p
+}
+
+/// Bubble sort `n` words in place at address 0 (quadratic control +
+/// data-dependent branches + heavy memory traffic: the all-round stress).
+pub fn sort(n: u64) -> Program {
+    let src = format!(
+        "        li   r1, {n}
+                 li   r2, 0
+         oloop:  sub  r4, r1, r2
+                 addi r4, r4, -1
+                 li   r3, 0
+                 bge  r3, r4, oend
+         iloop:  ld   r5, 0(r3)
+                 addi r7, r3, 1
+                 ld   r6, 0(r7)
+                 sltu r8, r6, r5
+                 beq  r8, r0, noswap
+                 st   r6, 0(r3)
+                 st   r5, 0(r7)
+         noswap: addi r3, r3, 1
+                 blt  r3, r4, iloop
+         oend:   addi r2, r2, 1
+                 blt  r2, r1, oloop
+                 halt"
+    );
+    let mut p = assemble(&format!("sort_{n}"), &src).expect("sort assembles");
+    p.mem_words = p.mem_words.max(n as usize + 16);
+    let mut state = 0xDEADBEEFu64;
+    for i in 0..n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        p.init_mem.push((i, (state >> 40) & 0xFFFF));
+    }
+    p
+}
+
+/// Look up a catalog program by name with representative default sizes.
+/// Used by the LSS `lir_core` template's `program` parameter.
+pub fn by_name(name: &str) -> Option<Program> {
+    Some(match name {
+        "count" => count(64),
+        "fib" => fib(32),
+        "matmul" => matmul(6),
+        "pointer_chase" => pointer_chase(256, 512),
+        "branchy" => branchy(256),
+        "memcpy" => memcpy_prog(128),
+        "dotprod" => dotprod(64),
+        "sort" => sort(24),
+        _ => return None,
+    })
+}
+
+/// Every catalog program (default sizes), for sweeps.
+pub fn catalog() -> Vec<Program> {
+    ["count", "fib", "matmul", "pointer_chase", "branchy", "memcpy", "dotprod", "sort"]
+        .iter()
+        .map(|n| by_name(n).expect("catalog name"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emu::Machine;
+
+    fn run(p: &Program) -> Machine {
+        let mut m = Machine::new(p);
+        m.run(p, 10_000_000).unwrap();
+        assert!(m.halted, "{} did not halt", p.name);
+        m
+    }
+
+    #[test]
+    fn count_stores_n() {
+        let m = run(&count(17));
+        assert_eq!(m.mem[0], 17);
+    }
+
+    #[test]
+    fn fib_matches_reference() {
+        let m = run(&fib(12));
+        let mut a = 0u64;
+        let mut b = 1u64;
+        for i in 0..12 {
+            assert_eq!(m.mem[i], a, "fib({i})");
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let k = 4usize;
+        let m = run(&matmul(k as u64));
+        let a = |i: usize, l: usize| (i * k + l) as u64 + 1;
+        let b = |l: usize, j: usize| 2 * (l * k + j) as u64 + 1;
+        for i in 0..k {
+            for j in 0..k {
+                let want: u64 = (0..k).map(|l| a(i, l) * b(l, j)).sum();
+                assert_eq!(m.mem[2 * k * k + i * k + j], want, "C[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_chase_visits_cycle() {
+        let nodes = 32u64;
+        let p = pointer_chase(nodes, nodes);
+        let m = run(&p);
+        // After exactly `nodes` hops around a full cycle starting at the
+        // node holding address 0's successor... the walk returns to the
+        // start of the cycle from address 0.
+        let mut cur = 0u64;
+        for _ in 0..nodes {
+            cur = p
+                .init_mem
+                .iter()
+                .find(|&&(a, _)| a == cur)
+                .map(|&(_, v)| v)
+                .unwrap();
+        }
+        assert_eq!(m.mem[nodes as usize], cur);
+    }
+
+    #[test]
+    fn branchy_counts_taken() {
+        let m = run(&branchy(100));
+        // Roughly half the xorshift outputs have the low bit set.
+        let taken = m.mem[0];
+        assert!(taken > 25 && taken < 75, "taken = {taken}");
+    }
+
+    #[test]
+    fn memcpy_copies() {
+        let n = 20u64;
+        let m = run(&memcpy_prog(n));
+        for i in 0..n as usize {
+            assert_eq!(m.mem[n as usize + i], 3 * i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn dotprod_matches_reference() {
+        let n = 10u64;
+        let m = run(&dotprod(n));
+        let want: u64 = (0..n).map(|i| (i + 1) * (i + 2)).sum();
+        assert_eq!(m.mem[2 * n as usize], want);
+    }
+
+    #[test]
+    fn sort_actually_sorts() {
+        let n = 20u64;
+        let p = sort(n);
+        let m = run(&p);
+        let vals = &m.mem[..n as usize];
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1], "not sorted: {vals:?}");
+        }
+        // Same multiset as the init values.
+        let mut init: Vec<u64> = p.init_mem.iter().map(|&(_, v)| v).collect();
+        init.sort_unstable();
+        assert_eq!(vals, &init[..]);
+    }
+
+    #[test]
+    fn catalog_all_halt() {
+        for p in catalog() {
+            run(&p);
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerate EXPERIMENTS.md: static claim-by-claim header + live tables.
+set -e
+cargo run -p liberty-bench --bin report --release > /tmp/liberty_report.md
+{
+  cat docs/experiments_header.md
+  tail -n +4 /tmp/liberty_report.md
+} > EXPERIMENTS.md
+echo "EXPERIMENTS.md regenerated"
