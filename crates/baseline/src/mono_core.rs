@@ -192,8 +192,8 @@ impl MonoCore {
                 let actual = if taken { target } else { self.pc + 1 };
                 if self.cfg.predict {
                     let i = (self.pc as usize) % self.counters.len();
-                    let pred_taken = self.counters[i] >= 2
-                        && self.btb[i].is_some_and(|(p, _)| p == self.pc);
+                    let pred_taken =
+                        self.counters[i] >= 2 && self.btb[i].is_some_and(|(p, _)| p == self.pc);
                     let pred_next = if pred_taken {
                         self.btb[i].map(|(_, t)| t).unwrap_or(self.pc + 1)
                     } else {
@@ -290,7 +290,12 @@ mod tests {
         emu.run(prog, 10_000_000).unwrap();
         assert_eq!(mono.regs(), &emu.regs, "{}: registers differ", prog.name);
         assert_eq!(mono.mem(), &emu.mem[..], "{}: memory differs", prog.name);
-        assert_eq!(mono.stats().retired, emu.retired, "{}: retired differ", prog.name);
+        assert_eq!(
+            mono.stats().retired,
+            emu.retired,
+            "{}: retired differ",
+            prog.name
+        );
         mono.stats().clone()
     }
 

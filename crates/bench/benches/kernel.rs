@@ -1,0 +1,33 @@
+//! Kernel throughput: simulated time-steps per host second on three
+//! representative netlists (8x8 mesh under uniform traffic, the E2 CMP,
+//! the E8 stage-4 core), for the dynamic and static schedulers.
+//!
+//! Prints a markdown table so `regen_experiments.sh` can capture the
+//! numbers; the same workloads feed the report binary's kernel section.
+
+use liberty_bench::kernel::run_all;
+use liberty_bench::table;
+
+fn main() {
+    let cycles = 2000;
+    let runs = run_all(cycles);
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.to_string(),
+                format!("{:?}", r.sched),
+                r.cycles.to_string(),
+                format!("{:.1}", r.secs * 1e3),
+                format!("{:.0}", r.steps_per_sec()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["workload", "scheduler", "cycles", "host ms", "steps/sec"],
+            &rows
+        )
+    );
+}

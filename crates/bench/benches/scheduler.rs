@@ -56,7 +56,10 @@ fn mesh(sched: SchedKind) -> Simulator {
 fn bench_scheduler(c: &mut Criterion) {
     let mut g = c.benchmark_group("e10_scheduler");
     for (name, mk) in [
-        ("chain64", Box::new(|s| chain(64, s)) as Box<dyn Fn(SchedKind) -> Simulator>),
+        (
+            "chain64",
+            Box::new(|s| chain(64, s)) as Box<dyn Fn(SchedKind) -> Simulator>,
+        ),
         ("mesh4x4", Box::new(mesh)),
         (
             "lir_core_fib",

@@ -1,0 +1,127 @@
+//! Kernel throughput workloads shared by `benches/kernel.rs` and the
+//! experiment report's kernel-throughput section.
+//!
+//! Three representative netlists exercise the per-timestep kernel paths:
+//! a large mesh (many edges, moderate activity), the E2 chip
+//! multiprocessor (heterogeneous templates, bus + NoC), and the E8
+//! stage-4 core (deep pipeline with predictor and D-cache). Throughput is
+//! reported as simulated time-steps per host second.
+
+use crate::timed;
+use liberty_ccl::topology::build_grid;
+use liberty_ccl::traffic::{traffic_gen, traffic_sink, Pattern, TrafficCfg};
+use liberty_core::prelude::*;
+use liberty_systems::cmp::{cmp_simulator, CmpConfig};
+use liberty_upl::core::{core_simulator, CoreConfig};
+use liberty_upl::program;
+use std::sync::Arc;
+
+/// Names of the kernel throughput workloads, in report order.
+pub const WORKLOADS: &[&str] = &["mesh 8x8 uniform 0.1", "CMP 8-core + NoC", "core stage-4"];
+
+/// One measured kernel run.
+#[derive(Clone, Debug)]
+pub struct KernelRun {
+    /// Workload name (one of [`WORKLOADS`]).
+    pub workload: &'static str,
+    /// Scheduler used.
+    pub sched: SchedKind,
+    /// Time-steps executed.
+    pub cycles: u64,
+    /// Host seconds for the run (construction excluded).
+    pub secs: f64,
+}
+
+impl KernelRun {
+    /// Simulated time-steps per host second.
+    pub fn steps_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.secs
+    }
+}
+
+fn mesh8x8(sched: SchedKind) -> Simulator {
+    let mut b = NetlistBuilder::new();
+    let fabric = build_grid(&mut b, "n.", 8, 8, 4, 1, false).unwrap();
+    for id in 0..fabric.nodes {
+        let (g_spec, g_mod) = traffic_gen(TrafficCfg {
+            nodes: fabric.nodes,
+            width: 8,
+            my: id,
+            rate: 0.1,
+            pattern: Pattern::Uniform,
+            flits: 4,
+            seed: 3,
+            ..TrafficCfg::default()
+        });
+        let g = b.add(format!("g{id}"), g_spec, g_mod).unwrap();
+        let (ti, tp) = fabric.local_in[id as usize];
+        b.connect(g, "out", ti, tp).unwrap();
+        let (k_spec, k_mod) = traffic_sink(Some(id));
+        let k = b.add(format!("s{id}"), k_spec, k_mod).unwrap();
+        let (fo, fp) = fabric.local_out[id as usize];
+        b.connect(fo, fp, k, "in").unwrap();
+    }
+    let (topo, modules) = b.build().unwrap().into_parts();
+    Simulator::from_parts(Arc::new(topo), modules, sched)
+}
+
+fn cmp8(sched: SchedKind) -> Simulator {
+    let cfg = CmpConfig {
+        cores: 8,
+        items: 16,
+        ordering: None,
+        with_noc: true,
+        noc_rate: 0.05,
+    };
+    cmp_simulator(&cfg, sched).unwrap().0
+}
+
+fn core_s4(sched: SchedKind) -> Simulator {
+    let cfg = CoreConfig {
+        fetch_q: 4,
+        iw: 4,
+        rob: 8,
+        predictor: Some(Params::new().with("kind", "bimodal")),
+        cache: Some(Params::new()),
+        mem_latency: 12,
+        ..CoreConfig::default()
+    };
+    core_simulator(Arc::new(program::branchy(256)), &cfg, sched)
+        .unwrap()
+        .0
+}
+
+/// Build the named workload (panics on an unknown name).
+pub fn build(workload: &str, sched: SchedKind) -> Simulator {
+    match workload {
+        w if w == WORKLOADS[0] => mesh8x8(sched),
+        w if w == WORKLOADS[1] => cmp8(sched),
+        w if w == WORKLOADS[2] => core_s4(sched),
+        other => panic!("unknown kernel workload {other:?}"),
+    }
+}
+
+/// Run one workload for `cycles` steps and measure host time.
+pub fn run_workload(workload: &'static str, sched: SchedKind, cycles: u64) -> KernelRun {
+    let mut sim = build(workload, sched);
+    // Warm-up settles allocator and cache effects out of the measurement.
+    sim.run(cycles / 10).unwrap();
+    let (_, secs) = timed(|| sim.run(cycles).unwrap());
+    KernelRun {
+        workload,
+        sched,
+        cycles,
+        secs,
+    }
+}
+
+/// Measure every workload with the dynamic and static schedulers.
+pub fn run_all(cycles: u64) -> Vec<KernelRun> {
+    let mut out = Vec::new();
+    for &w in WORKLOADS {
+        for sched in [SchedKind::Dynamic, SchedKind::Static] {
+            out.push(run_workload(w, sched, cycles));
+        }
+    }
+    out
+}

@@ -2,6 +2,8 @@
 
 #![warn(missing_docs)]
 
+pub mod kernel;
+
 use std::time::Instant;
 
 /// Time a closure, returning its result and elapsed seconds.
@@ -69,13 +71,9 @@ mod tests {
     fn chain_spec_elaborates() {
         let reg = liberty_systems::full_registry();
         let spec = liberty_lss::parse(&chain_spec(5)).unwrap();
-        let (net, _) = liberty_lss::elaborate(
-            &spec,
-            &reg,
-            "main",
-            &liberty_core::prelude::Params::new(),
-        )
-        .unwrap();
+        let (net, _) =
+            liberty_lss::elaborate(&spec, &reg, "main", &liberty_core::prelude::Params::new())
+                .unwrap();
         assert_eq!(net.len(), 7);
     }
 }

@@ -94,10 +94,11 @@ fn is_link(name: &str) -> bool {
 /// Integrate a run's statistics into a power report.
 ///
 /// `instance_names` must be the simulator's full instance list (idle
-/// components leak even when they never produced a counter);
+/// components leak even when they never produced a counter); any slice of
+/// string-likes works, e.g. `Simulator::instance_names().collect()`.
 /// `avg_flits` scales per-packet counters into flit events.
-pub fn analyze(
-    instance_names: &[String],
+pub fn analyze<S: AsRef<str>>(
+    instance_names: &[S],
     report: &StatsReport,
     cycles: u64,
     avg_flits: f64,
@@ -134,7 +135,11 @@ pub fn analyze(
     let mut total_dynamic_mw = 0.0;
     for (class, pj) in dyn_pj {
         // pJ over the run -> mW: 1e-12 J / s * 1e3.
-        let mw = if seconds > 0.0 { pj * 1e-12 / seconds * 1e3 } else { 0.0 };
+        let mw = if seconds > 0.0 {
+            pj * 1e-12 / seconds * 1e3
+        } else {
+            0.0
+        };
         total_dynamic_mw += mw;
         dynamic_mw.insert(class, mw);
     }
@@ -146,6 +151,7 @@ pub fn analyze(
         total_leakage_mw += mw;
     };
     for name in instance_names {
+        let name = name.as_ref();
         if is_buf(name) {
             leak("buffer", coeffs.p_leak_buf_mw);
         } else if is_xbar(name) {
@@ -214,7 +220,7 @@ mod tests {
     #[test]
     fn idle_network_is_all_leakage() {
         let names = vec!["n.r0.ibuf0".to_owned(), "n.r0.xbar".to_owned()];
-        let empty = Stats::new().report(&[]);
+        let empty = Stats::new().report::<&str>(&[]);
         let r = analyze(&names, &empty, 1000, 4.0, &PowerCoeffs::default());
         assert_eq!(r.total_dynamic_mw, 0.0);
         assert!(r.total_leakage_mw > 0.0);
@@ -225,15 +231,15 @@ mod tests {
     #[test]
     fn leakage_counts_idle_instances() {
         let a = analyze(
-            &["x.ibuf0".to_owned()],
-            &Stats::new().report(&[]),
+            &["x.ibuf0"],
+            &Stats::new().report::<&str>(&[]),
             10,
             1.0,
             &PowerCoeffs::default(),
         );
         let b = analyze(
-            &["x.ibuf0".to_owned(), "y.ibuf1".to_owned()],
-            &Stats::new().report(&[]),
+            &["x.ibuf0", "y.ibuf1"],
+            &Stats::new().report::<&str>(&[]),
             10,
             1.0,
             &PowerCoeffs::default(),

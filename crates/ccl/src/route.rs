@@ -141,7 +141,7 @@ impl Module for RouteCompute {
             Res::Yes(v) => {
                 let pkt = Packet::from_value(&v)?;
                 let port = self.kind.route(pkt.dst)?;
-                ctx.send(P_OUT, 0, Routed::new(port, v.clone()))?;
+                ctx.send(P_OUT, 0, Routed::wrap(port, v.clone()))?;
                 match ctx.ack(P_OUT, 0)? {
                     Res::Unknown => Ok(()),
                     Res::Yes(()) => ctx.set_ack(P_IN, 0, true),

@@ -55,7 +55,12 @@ pub fn build_grid(
         } else {
             RouteKind::MeshXy { w, h, my: id }
         };
-        routers.push(build_router(b, &format!("{prefix}r{id}."), kind, buf_depth)?);
+        routers.push(build_router(
+            b,
+            &format!("{prefix}r{id}."),
+            kind,
+            buf_depth,
+        )?);
     }
     // Directions: 0 = N, 1 = E, 2 = S, 3 = W.
     const OPP: [usize; 4] = [2, 3, 0, 1];
@@ -80,7 +85,7 @@ pub fn build_grid(
                     None
                 }
             };
-            for dir in 0..4 {
+            for (dir, &opp) in OPP.iter().enumerate() {
                 if let Some(n) = neighbour(dir) {
                     // Degenerate wraps (1-wide dimensions) would self-link.
                     if n != id {
@@ -88,7 +93,7 @@ pub fn build_grid(
                             b,
                             format!("{prefix}link_{id}_{dir}"),
                             routers[id].outputs[dir],
-                            routers[n].inputs[OPP[dir]],
+                            routers[n].inputs[opp],
                             link_latency,
                         )?;
                     }

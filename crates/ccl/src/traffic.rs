@@ -37,8 +37,8 @@ impl Pattern {
             "hotspot" => Pattern::Hotspot,
             other => {
                 return Err(SimError::param(format!(
-                    "traffic: unknown pattern {other:?} (uniform, transpose, bit_complement, hotspot)"
-                )))
+                "traffic: unknown pattern {other:?} (uniform, transpose, bit_complement, hotspot)"
+            )))
             }
         })
     }
@@ -150,9 +150,7 @@ impl TrafficGen {
 impl Module for TrafficGen {
     fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
         match &self.pending {
-            Some(p) if ctx.now() >= self.mute_until => {
-                ctx.send(P_OUT, 0, p.clone().into_value())
-            }
+            Some(p) if ctx.now() >= self.mute_until => ctx.send(P_OUT, 0, p.clone().into_value()),
             _ => ctx.send_nothing(P_OUT, 0),
         }
     }

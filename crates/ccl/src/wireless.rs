@@ -93,8 +93,8 @@ impl Module for Wireless {
                 for j in 0..m {
                     ctx.send_nothing(P_RX, j)?;
                 }
-                for i in 0..n {
-                    ctx.set_ack(P_TX, i, !offers[i].is_some())?;
+                for (i, offer) in offers.iter().enumerate() {
+                    ctx.set_ack(P_TX, i, offer.is_none())?;
                 }
             }
         }

@@ -234,13 +234,13 @@ struct WormholeSwitch {
     rr: Vec<usize>,
 }
 
+/// Per-input desired `(output, flit kind)`; outer `None` = an input is
+/// still unresolved this pass.
+type Desires = Option<Vec<Option<(u32, FlitKind)>>>;
+
 impl WormholeSwitch {
     /// Desired output per input, given resolved offers. `None` = no offer.
-    fn desires(
-        &self,
-        n: usize,
-        data: impl Fn(usize) -> Res<Value>,
-    ) -> Result<Option<Vec<Option<(u32, FlitKind)>>>, SimError> {
+    fn desires(&self, n: usize, data: impl Fn(usize) -> Res<Value>) -> Result<Desires, SimError> {
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             match data(i) {
@@ -316,8 +316,8 @@ impl Module for WormholeSwitch {
                 None => ctx.send_nothing(P_OUT, j)?,
             }
         }
-        for i in 0..n {
-            match desires[i] {
+        for (i, &desire) in desires.iter().enumerate() {
+            match desire {
                 None => ctx.set_ack(P_IN, i, true)?,
                 Some((p, _)) => {
                     let j = p as usize;
@@ -448,7 +448,7 @@ pub fn build_flit_grid(
     for y in 0..h {
         for x in 0..w {
             let id = (y * w + x) as usize;
-            for dir in 0..4usize {
+            for (dir, &opp) in OPP.iter().enumerate() {
                 let (nx, ny) = match dir {
                     0 => (x as i64, y as i64 - 1),
                     1 => (x as i64 + 1, y as i64),
@@ -458,7 +458,7 @@ pub fn build_flit_grid(
                 if nx >= 0 && nx < w as i64 && ny >= 0 && ny < h as i64 {
                     let nid = (ny as u32 * w + nx as u32) as usize;
                     let (fo, fp) = routers[id].outputs[dir];
-                    let (ti, tp) = routers[nid].inputs[OPP[dir]];
+                    let (ti, tp) = routers[nid].inputs[opp];
                     // Flit links are single-cycle wires: connect directly
                     // (the output register is the link stage).
                     b.connect(fo, fp, ti, tp)?;

@@ -46,20 +46,34 @@ fn build_network(
 }
 
 fn totals(sim: &Simulator, gens: &[InstanceId], sinks: &[InstanceId]) -> (u64, u64, f64) {
-    let injected: u64 = gens.iter().map(|&g| sim.stats().counter(g, "injected")).sum();
-    let received: u64 = sinks.iter().map(|&k| sim.stats().counter(k, "received")).sum();
-    let lat = sim.stats().sample_total("latency").map(|s| s.mean()).unwrap_or(0.0);
+    let injected: u64 = gens
+        .iter()
+        .map(|&g| sim.stats().counter(g, "injected"))
+        .sum();
+    let received: u64 = sinks
+        .iter()
+        .map(|&k| sim.stats().counter(k, "received"))
+        .sum();
+    let lat = sim
+        .stats()
+        .sample_total("latency")
+        .map(|s| s.mean())
+        .unwrap_or(0.0);
     (injected, received, lat)
 }
 
 #[test]
 fn mesh_delivers_uniform_traffic_without_loss() {
-    let (mut sim, gens, sinks) = build_network(4, 4, 0.05, Pattern::Uniform, false, SchedKind::Static);
+    let (mut sim, gens, sinks) =
+        build_network(4, 4, 0.05, Pattern::Uniform, false, SchedKind::Static);
     sim.run(600).unwrap();
     let (injected, received, lat) = totals(&sim, &gens, &sinks);
     assert!(injected > 100, "injected {injected}");
     // Everything injected is eventually delivered (drain margin).
-    assert!(received as f64 >= injected as f64 * 0.9, "{received}/{injected}");
+    assert!(
+        received as f64 >= injected as f64 * 0.9,
+        "{received}/{injected}"
+    );
     assert!(lat >= 3.0, "mean latency {lat}");
 }
 
@@ -104,10 +118,7 @@ fn torus_wrap_reduces_latency_vs_mesh() {
     };
     let mesh_lat = run(false);
     let torus_lat = run(true);
-    assert!(
-        torus_lat < mesh_lat,
-        "torus {torus_lat} !< mesh {mesh_lat}"
-    );
+    assert!(torus_lat < mesh_lat, "torus {torus_lat} !< mesh {mesh_lat}");
 }
 
 #[test]
@@ -206,12 +217,19 @@ fn abstraction_swap_keeps_network_untouched() {
 
 #[test]
 fn power_report_from_live_network() {
-    let (mut sim, gens, sinks) = build_network(4, 4, 0.1, Pattern::Uniform, false, SchedKind::Static);
+    let (mut sim, gens, sinks) =
+        build_network(4, 4, 0.1, Pattern::Uniform, false, SchedKind::Static);
     sim.run(400).unwrap();
     let (injected, _, _) = totals(&sim, &gens, &sinks);
     assert!(injected > 100);
-    let names = sim.instance_names();
-    let report = analyze(&names, &sim.report(), sim.now(), 4.0, &PowerCoeffs::default());
+    let names: Vec<&str> = sim.instance_names().collect();
+    let report = analyze(
+        &names,
+        &sim.report(),
+        sim.now(),
+        4.0,
+        &PowerCoeffs::default(),
+    );
     assert!(report.total_dynamic_mw > 0.0);
     assert!(report.total_leakage_mw > 0.0);
     assert!(report.dynamic_mw.contains_key("buffer"));
@@ -223,7 +241,7 @@ fn power_report_from_live_network() {
     let (mut sim2, _, _) = build_network(4, 4, 0.02, Pattern::Uniform, false, SchedKind::Static);
     sim2.run(400).unwrap();
     let report2 = analyze(
-        &sim2.instance_names(),
+        &sim2.instance_names().collect::<Vec<_>>(),
         &sim2.report(),
         sim2.now(),
         4.0,

@@ -8,7 +8,13 @@ use liberty_ccl::traffic::{traffic_gen, traffic_sink, Pattern, TrafficCfg};
 use liberty_core::prelude::*;
 use proptest::prelude::*;
 
-fn mesh_sim(w: u32, h: u32, rate: f64, seed: u64, pattern: Pattern) -> (Simulator, Vec<InstanceId>, Vec<InstanceId>) {
+fn mesh_sim(
+    w: u32,
+    h: u32,
+    rate: f64,
+    seed: u64,
+    pattern: Pattern,
+) -> (Simulator, Vec<InstanceId>, Vec<InstanceId>) {
     let mut b = NetlistBuilder::new();
     let fabric = build_grid(&mut b, "n.", w, h, 4, 1, false).unwrap();
     let mut gens = Vec::new();
@@ -35,7 +41,11 @@ fn mesh_sim(w: u32, h: u32, rate: f64, seed: u64, pattern: Pattern) -> (Simulato
         gens.push(g);
         sinks.push(k);
     }
-    (Simulator::new(b.build().unwrap(), SchedKind::Static), gens, sinks)
+    (
+        Simulator::new(b.build().unwrap(), SchedKind::Static),
+        gens,
+        sinks,
+    )
 }
 
 proptest! {

@@ -21,11 +21,7 @@ fn pkt(id: u64, src: u32, dst: u32, flits: u32) -> Value {
     .into_value()
 }
 
-fn flit_mesh(
-    w: u32,
-    h: u32,
-    scripts: Vec<Vec<Value>>,
-) -> (Simulator, Vec<sink::Collected>) {
+fn flit_mesh(w: u32, h: u32, scripts: Vec<Vec<Value>>) -> (Simulator, Vec<sink::Collected>) {
     let mut b = NetlistBuilder::new();
     let fabric = build_flit_grid(&mut b, "n.", w, h, 4).unwrap();
     let mut handles = Vec::new();
@@ -41,7 +37,10 @@ fn flit_mesh(
         b.connect(fo, fp, k, "in").unwrap();
         handles.push(hd);
     }
-    (Simulator::new(b.build().unwrap(), SchedKind::Static), handles)
+    (
+        Simulator::new(b.build().unwrap(), SchedKind::Static),
+        handles,
+    )
 }
 
 #[test]
@@ -60,10 +59,7 @@ fn single_packet_crosses_and_reassembles() {
 fn serialization_latency_scales_with_flits() {
     let lat = |flits: u32| {
         let (mut sim, handles) = flit_mesh(2, 1, vec![vec![pkt(1, 0, 1, flits)]]);
-        let cycles = sim
-            .run_until(300, |_| !handles[1].is_empty())
-            .unwrap();
-        cycles
+        sim.run_until(300, |_| !handles[1].is_empty()).unwrap()
     };
     let l1 = lat(1);
     let l8 = lat(8);
@@ -125,8 +121,14 @@ fn flit_mesh_carries_random_traffic() {
     }
     let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Static);
     sim.run(800).unwrap();
-    let injected: u64 = gens.iter().map(|&g| sim.stats().counter(g, "injected")).sum();
-    let received: u64 = sinks.iter().map(|&k| sim.stats().counter(k, "received")).sum();
+    let injected: u64 = gens
+        .iter()
+        .map(|&g| sim.stats().counter(g, "injected"))
+        .sum();
+    let received: u64 = sinks
+        .iter()
+        .map(|&k| sim.stats().counter(k, "received"))
+        .sum();
     assert!(injected > 40, "injected {injected}");
     assert!(
         received as f64 >= injected as f64 * 0.8,
@@ -144,8 +146,9 @@ fn schedulers_agree_on_flit_fabric() {
         let mut b = NetlistBuilder::new();
         let fabric = build_flit_grid(&mut b, "n.", 2, 2, 4).unwrap();
         for id in 0..4u32 {
-            let script: Vec<Value> =
-                (0..3).map(|k| pkt(u64::from(id) * 10 + k, id, (id + 1) % 4, 3)).collect();
+            let script: Vec<Value> = (0..3)
+                .map(|k| pkt(u64::from(id) * 10 + k, id, (id + 1) % 4, 3))
+                .collect();
             let (s_spec, s_mod) = source::script(script);
             let s = b.add(format!("src{id}"), s_spec, s_mod).unwrap();
             let (ti, tp) = fabric.local_in[id as usize];

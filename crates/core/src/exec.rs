@@ -1,0 +1,989 @@
+//! The execution layer: schedulers, phases, and the module-facing
+//! contexts (LSE's reactive model of computation).
+//!
+//! A [`Simulator`] is the thin mutable layer over an immutable
+//! [`Topology`] and an epoch-stamped [`SignalStore`]. Each time-step:
+//!
+//! 1. **Reaction phase** — module `react` handlers run (possibly several
+//!    times each) until no more wires can resolve. Wires resolve
+//!    monotonically; the fixed point is unique for monotone modules, so the
+//!    result is independent of scheduling order.
+//! 2. **Default resolution** — any wire still `Unknown` at quiescence gets
+//!    the default control semantics (data `No`, enable mirrors data, ack
+//!    `Yes`), *one wire at a time*, resuming reactions after each, so a
+//!    module woken by a default can still drive its own wires. This is what
+//!    makes partial specifications executable (paper §2.2).
+//! 3. **Commit phase** — `commit` handlers run once and update internal
+//!    state from the completed transfers. Templates that declared
+//!    [`crate::module::ModuleSpec::commit_only_when_active`] are skipped
+//!    unless they were an endpoint of a completed transfer this step or
+//!    self-report [`Module::pending`]; the transfer set is a property of
+//!    the unique fixed point, so the skip decision is identical under
+//!    every scheduler.
+//!
+//! All three schedulers (naive sweep, dynamic FIFO, static rank order —
+//! paper ref [22]) share one worklist/wake infrastructure: newly resolved
+//! wires are looked up in the topology's CSR reader tables and the readers
+//! are re-queued. They reach the same fixed point; they differ only in
+//! handler re-invocation counts.
+
+use crate::error::SimError;
+use crate::module::{Dir, Module, PortId};
+use crate::netlist::{EdgeId, InstanceId, Netlist};
+use crate::sched::RankQueue;
+use crate::signal::{Res, SignalState, Wire, WriteOutcome};
+use crate::stats::{Stats, StatsReport};
+use crate::store::SignalStore;
+use crate::topology::{InstanceInfo, Topology};
+use crate::value::Value;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Which reaction-phase scheduler to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedKind {
+    /// Naive repeated full sweeps until quiescence — the unoptimized
+    /// baseline a simulator constructor starts from (no wake tracking).
+    Sweep,
+    /// FIFO worklist; wakes only the readers of newly resolved wires.
+    Dynamic,
+    /// Rank-ordered worklist from a topological analysis of the netlist
+    /// (SCC condensation); the optimization of paper ref [22].
+    Static,
+}
+
+/// Invocation counters exposed for the scheduler-optimization experiment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EngineMetrics {
+    /// Time-steps executed.
+    pub steps: u64,
+    /// Total `react` handler invocations.
+    pub reacts: u64,
+    /// Total `commit` handler invocations.
+    pub commits: u64,
+    /// Wires resolved by the default control semantics.
+    pub defaults: u64,
+}
+
+/// Observer of completed transfers, for tracing/visualization.
+pub trait Tracer: Send {
+    /// Called once per completed transfer at the end of each time-step.
+    fn transfer(&mut self, now: u64, src: &str, dst: &str, value: &Value);
+}
+
+/// Reusable worklist storage shared by the reaction and default phases.
+/// Only the variant matching the scheduler is populated.
+#[derive(Default)]
+struct WorkState {
+    fifo: VecDeque<u32>,
+    queued: Vec<bool>,
+    ranked: Option<RankQueue>,
+}
+
+/// The executable simulator (paper Fig. 1's "Simulator Executable").
+pub struct Simulator {
+    topo: Arc<Topology>,
+    modules: Vec<Box<dyn Module>>,
+    store: SignalStore,
+    stats: Stats,
+    now: u64,
+    sched: SchedKind,
+    work: WorkState,
+    metrics: EngineMetrics,
+    tracer: Option<Box<dyn Tracer>>,
+    wake_buf: Vec<(EdgeId, Wire)>,
+    /// Scratch per-instance activity flags for the commit phase; cleared
+    /// proportionally to the transfer list, never swept.
+    active: Vec<bool>,
+    /// Cumulative per-edge completed-transfer counts.
+    transfer_counts: Vec<u64>,
+}
+
+impl Simulator {
+    /// Construct a simulator from a validated netlist (convenience over
+    /// [`Simulator::from_parts`]).
+    pub fn new(net: Netlist, sched: SchedKind) -> Self {
+        let (topo, modules) = net.into_parts();
+        Self::from_parts(Arc::new(topo), modules, sched)
+    }
+
+    /// The layered constructor: run `modules` over a (possibly shared)
+    /// immutable topology. Sharing one `Arc<Topology>` between simulators
+    /// reuses the CSR wake tables and the cached static-schedule ranks.
+    pub fn from_parts(
+        topo: Arc<Topology>,
+        modules: Vec<Box<dyn Module>>,
+        sched: SchedKind,
+    ) -> Self {
+        assert_eq!(
+            topo.instance_count(),
+            modules.len(),
+            "modules must be parallel to the topology's instances"
+        );
+        let n = topo.instance_count();
+        let n_edges = topo.edge_count();
+        let work = match sched {
+            SchedKind::Sweep => WorkState::default(),
+            SchedKind::Dynamic => WorkState {
+                fifo: VecDeque::with_capacity(n),
+                queued: vec![false; n],
+                ranked: None,
+            },
+            SchedKind::Static => WorkState {
+                ranked: Some(RankQueue::new(topo.ranks())),
+                ..WorkState::default()
+            },
+        };
+        Simulator {
+            store: SignalStore::new(n_edges),
+            modules,
+            stats: Stats::new(),
+            now: 0,
+            sched,
+            work,
+            metrics: EngineMetrics::default(),
+            tracer: None,
+            wake_buf: Vec::new(),
+            active: vec![false; n],
+            transfer_counts: vec![0; n_edges],
+            topo,
+        }
+    }
+
+    /// The immutable structure this simulator runs over.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// Attach a transfer tracer.
+    pub fn set_tracer(&mut self, t: Box<dyn Tracer>) {
+        self.tracer = Some(t);
+    }
+
+    /// Current time-step number (cycles completed).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The statistics collected so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Engine invocation counters.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.metrics
+    }
+
+    /// Which scheduler this simulator runs.
+    pub fn sched(&self) -> SchedKind {
+        self.sched
+    }
+
+    /// Instance names in id order (for stats reports).
+    pub fn instance_names(&self) -> impl Iterator<Item = &str> {
+        self.topo.instance_names()
+    }
+
+    /// Look up an instance id by name.
+    pub fn instance_by_name(&self, name: &str) -> Option<InstanceId> {
+        self.topo.instance_by_name(name)
+    }
+
+    /// Build a serializable statistics report.
+    pub fn report(&self) -> StatsReport {
+        let names: Vec<&str> = self.topo.instance_names().collect();
+        self.stats.report(&names)
+    }
+
+    /// How many instances of each template the netlist contains — the
+    /// ground truth for the reuse census (experiment E6).
+    pub fn template_census(&self) -> std::collections::BTreeMap<String, usize> {
+        self.topo.template_census()
+    }
+
+    /// Number of connections in the netlist.
+    pub fn edge_count(&self) -> usize {
+        self.topo.edge_count()
+    }
+
+    /// Cumulative completed-transfer count per edge (indexed by
+    /// [`EdgeId`]). A scheduler-independent observable: all schedulers
+    /// reach the same fixed point, hence the same transfers.
+    pub fn transfer_counts(&self) -> &[u64] {
+        &self.transfer_counts
+    }
+
+    /// Run `cycles` time-steps.
+    pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
+        for _ in 0..cycles {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Run until `pred` returns true (checked after each step) or until
+    /// `max_cycles` elapse. Returns the number of steps executed.
+    pub fn run_until(
+        &mut self,
+        max_cycles: u64,
+        mut pred: impl FnMut(&Stats) -> bool,
+    ) -> Result<u64, SimError> {
+        for c in 0..max_cycles {
+            self.step()?;
+            if pred(&self.stats) {
+                return Ok(c + 1);
+            }
+        }
+        Ok(max_cycles)
+    }
+
+    /// Execute one complete time-step.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.store.begin_step(); // O(1): epoch bump, no per-edge sweep
+        self.reaction_phase()?;
+        self.default_phase()?;
+        self.commit_phase()?;
+        self.metrics.steps += 1;
+        self.now += 1;
+        Ok(())
+    }
+
+    /// Run the reaction phase from a full seed (every instance queued).
+    fn reaction_phase(&mut self) -> Result<(), SimError> {
+        let n = self.topo.instance_count();
+        let mut work = std::mem::take(&mut self.work);
+        match self.sched {
+            SchedKind::Sweep => {}
+            SchedKind::Dynamic => {
+                debug_assert!(work.fifo.is_empty());
+                work.queued[..n].fill(true);
+                work.fifo.extend(0..n as u32);
+            }
+            SchedKind::Static => {
+                let q = work.ranked.as_mut().expect("static rank queue");
+                q.reset();
+                for i in 0..n as u32 {
+                    q.push(i);
+                }
+            }
+        }
+        let r = self.drain(&mut work);
+        self.work = work;
+        r
+    }
+
+    /// Resume reactions after a default resolution woke `seeds`.
+    fn resume(&mut self, seeds: &[u32]) -> Result<(), SimError> {
+        let mut work = std::mem::take(&mut self.work);
+        match self.sched {
+            SchedKind::Sweep => {}
+            SchedKind::Dynamic => {
+                debug_assert!(work.fifo.is_empty());
+                for &s in seeds {
+                    if !work.queued[s as usize] {
+                        work.queued[s as usize] = true;
+                        work.fifo.push_back(s);
+                    }
+                }
+            }
+            SchedKind::Static => {
+                let q = work.ranked.as_mut().expect("static rank queue");
+                q.reset();
+                for &s in seeds {
+                    q.push(s);
+                }
+            }
+        }
+        let r = self.drain(&mut work);
+        self.work = work;
+        r
+    }
+
+    /// Drain the worklist to quiescence, waking CSR readers of each newly
+    /// resolved wire. All three schedulers flow through here.
+    fn drain(&mut self, work: &mut WorkState) -> Result<(), SimError> {
+        let Simulator {
+            topo,
+            modules,
+            store,
+            stats,
+            now,
+            sched,
+            metrics,
+            wake_buf,
+            ..
+        } = self;
+        let topo: &Topology = topo;
+        let mut newly = std::mem::take(wake_buf);
+        let result = (|| match sched {
+            SchedKind::Sweep => loop {
+                let mut progressed = false;
+                for i in 0..topo.instance_count() {
+                    newly.clear();
+                    react_one(topo, modules, store, stats, metrics, *now, i, &mut newly)?;
+                    if !newly.is_empty() {
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    return Ok(());
+                }
+            },
+            SchedKind::Dynamic => {
+                while let Some(i) = work.fifo.pop_front() {
+                    work.queued[i as usize] = false;
+                    newly.clear();
+                    react_one(
+                        topo, modules, store, stats, metrics, *now, i as usize, &mut newly,
+                    )?;
+                    for (e, wire) in newly.drain(..) {
+                        for &t in topo.readers(wire, e) {
+                            if !work.queued[t as usize] {
+                                work.queued[t as usize] = true;
+                                work.fifo.push_back(t);
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            SchedKind::Static => {
+                let q = work.ranked.as_mut().expect("static rank queue");
+                while let Some(i) = q.pop() {
+                    newly.clear();
+                    react_one(
+                        topo, modules, store, stats, metrics, *now, i as usize, &mut newly,
+                    )?;
+                    for (e, wire) in newly.drain(..) {
+                        for &t in topo.readers(wire, e) {
+                            q.push(t);
+                        }
+                    }
+                }
+                Ok(())
+            }
+        })();
+        self.wake_buf = newly;
+        result
+    }
+
+    /// Lazy default resolution: default the lowest-numbered unresolved
+    /// wire, wake its readers, resume reactions; repeat to full resolution.
+    fn default_phase(&mut self) -> Result<(), SimError> {
+        let n_edges = self.topo.edge_count();
+        let mut cursor = 0usize;
+        loop {
+            // Advance past fully resolved edges; resolution is monotone so
+            // the cursor never needs to move backwards.
+            while cursor < n_edges && self.store.is_fully_resolved(EdgeId(cursor as u32)) {
+                cursor += 1;
+            }
+            if cursor >= n_edges {
+                return Ok(());
+            }
+            let e = EdgeId(cursor as u32);
+            let wire = if !self.store.data(e).is_resolved() {
+                self.store.write_with(e, |s| s.write_data(Res::No))?;
+                Wire::Data
+            } else if !self.store.enable(e).is_resolved() {
+                let en = if self.store.data(e).is_yes() {
+                    Res::Yes(())
+                } else {
+                    Res::No
+                };
+                self.store.write_with(e, |s| s.write_enable(en))?;
+                Wire::Enable
+            } else {
+                self.store.write_with(e, |s| s.write_ack(Res::Yes(())))?;
+                Wire::Ack
+            };
+            self.metrics.defaults += 1;
+            // Reader lists here have length ≤ 1 (data/enable wake the one
+            // receiver; ack wakes at most the one declared sender), so
+            // re-borrowing per index costs nothing and avoids a Vec.
+            let n_readers = self.topo.readers(wire, e).len();
+            for idx in 0..n_readers {
+                let seed = self.topo.readers(wire, e)[idx];
+                self.resume(&[seed])?;
+            }
+        }
+    }
+
+    /// Commit with activity tracking: gated instances commit only when
+    /// they were an endpoint of a completed transfer or report pending
+    /// internal state; everyone else commits unconditionally.
+    fn commit_phase(&mut self) -> Result<(), SimError> {
+        let Simulator {
+            topo,
+            modules,
+            store,
+            stats,
+            now,
+            metrics,
+            tracer,
+            active,
+            transfer_counts,
+            ..
+        } = self;
+        let topo: &Topology = topo;
+        for &e in store.transfers() {
+            let em = topo.edge_meta(e);
+            active[em.src.inst.0 as usize] = true;
+            active[em.dst.inst.0 as usize] = true;
+            transfer_counts[e.0 as usize] += 1;
+        }
+        for (i, module) in modules.iter_mut().enumerate() {
+            if topo.commit_gated(i) && !active[i] && !module.pending() {
+                continue;
+            }
+            metrics.commits += 1;
+            let mut ctx = CommitCtx {
+                inst: InstanceId(i as u32),
+                info: topo.instance(InstanceId(i as u32)),
+                store,
+                stats,
+                now: *now,
+            };
+            module.commit(&mut ctx)?;
+        }
+        if let Some(tracer) = tracer {
+            // Sort a copy by edge id so trace output is deterministic
+            // across schedulers (the set is; the resolution order is not).
+            let mut edges: Vec<EdgeId> = store.transfers().to_vec();
+            edges.sort_unstable_by_key(|e| e.0);
+            for e in edges {
+                let em = topo.edge_meta(e);
+                let v = store.transferred(e).expect("recorded transfer");
+                tracer.transfer(*now, topo.name(em.src.inst), topo.name(em.dst.inst), v);
+            }
+        }
+        // Clear flags by walking the same transfer list: cost stays
+        // proportional to activity, not to instance count.
+        for &e in store.transfers() {
+            let em = topo.edge_meta(e);
+            active[em.src.inst.0 as usize] = false;
+            active[em.dst.inst.0 as usize] = false;
+        }
+        Ok(())
+    }
+}
+
+/// Invoke one instance's `react` handler with a context over the shared
+/// store (free function so callers can borrow disjoint simulator fields).
+#[allow(clippy::too_many_arguments)]
+fn react_one(
+    topo: &Topology,
+    modules: &mut [Box<dyn Module>],
+    store: &mut SignalStore,
+    stats: &mut Stats,
+    metrics: &mut EngineMetrics,
+    now: u64,
+    i: usize,
+    newly: &mut Vec<(EdgeId, Wire)>,
+) -> Result<(), SimError> {
+    metrics.reacts += 1;
+    let mut ctx = ReactCtx {
+        inst: InstanceId(i as u32),
+        info: topo.instance(InstanceId(i as u32)),
+        store,
+        stats,
+        newly,
+        now,
+    };
+    modules[i].react(&mut ctx)
+}
+
+/// Context handed to [`Module::react`]: resolved-signal reads plus
+/// monotonic wire writes on the reacting instance's own ports.
+pub struct ReactCtx<'a> {
+    inst: InstanceId,
+    info: &'a InstanceInfo,
+    store: &'a mut SignalStore,
+    stats: &'a mut Stats,
+    newly: &'a mut Vec<(EdgeId, Wire)>,
+    now: u64,
+}
+
+impl<'a> ReactCtx<'a> {
+    /// Current time-step.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// This instance's id.
+    pub fn instance(&self) -> InstanceId {
+        self.inst
+    }
+
+    /// This instance's name.
+    pub fn name(&self) -> &str {
+        &self.info.name
+    }
+
+    /// Number of connections on a port (0 when left unconnected).
+    pub fn width(&self, port: PortId) -> usize {
+        self.info.width(port)
+    }
+
+    fn edge(&self, port: PortId, index: usize) -> Option<EdgeId> {
+        self.info.edge(port, index)
+    }
+
+    fn check_dir(&self, port: PortId, want: Dir) -> Result<(), SimError> {
+        let spec = self.info.spec.port_spec(port);
+        if spec.dir != want {
+            return Err(SimError::port(format!(
+                "{}.{}: wrong direction for this operation",
+                self.info.name, spec.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// The data wire arriving on an input connection. An unconnected or
+    /// out-of-range slot reads as `No` — the partial-specification default.
+    /// Returns a clone; `Value` payloads are reference counted, so this is
+    /// cheap.
+    pub fn data(&self, port: PortId, index: usize) -> Res<Value> {
+        match self.edge(port, index) {
+            Some(e) => self.store.data(e),
+            None => Res::No,
+        }
+    }
+
+    /// The enable wire arriving on an input connection.
+    pub fn enable(&self, port: PortId, index: usize) -> Res<()> {
+        match self.edge(port, index) {
+            Some(e) => self.store.enable(e),
+            None => Res::No,
+        }
+    }
+
+    /// The ack wire arriving on an output connection. Unconnected slots
+    /// read as `Yes` (an absent consumer accepts everything).
+    ///
+    /// Reading acks reactively requires the template to declare
+    /// [`crate::module::ModuleSpec::with_ack_in_react`]; otherwise the
+    /// kernel does not re-wake this module when acks resolve, and the read
+    /// would be racy.
+    pub fn ack(&self, port: PortId, index: usize) -> Result<Res<()>, SimError> {
+        if !self.info.spec.reads_ack_in_react {
+            return Err(SimError::contract(format!(
+                "{} ({}): react reads an ack wire but the template did not \
+                 declare with_ack_in_react()",
+                self.info.name, self.info.spec.template
+            )));
+        }
+        Ok(match self.edge(port, index) {
+            Some(e) => self.store.ack(e),
+            None => Res::Yes(()),
+        })
+    }
+
+    fn write(
+        &mut self,
+        port: PortId,
+        index: usize,
+        wire: Wire,
+        f: impl FnOnce(&mut SignalState) -> Result<WriteOutcome, SimError>,
+    ) -> Result<(), SimError> {
+        let Some(e) = self.edge(port, index) else {
+            return Ok(()); // unconnected: silently accepted (partial spec)
+        };
+        match self.store.write_with(e, f) {
+            Ok(WriteOutcome::NewlyResolved) => {
+                self.newly.push((e, wire));
+                Ok(())
+            }
+            Ok(WriteOutcome::Idempotent) => Ok(()),
+            Err(err) => Err(SimError::contract(format!(
+                "{} ({}): {err}",
+                self.info.name, self.info.spec.template
+            ))),
+        }
+    }
+
+    /// Send a value on an output connection: drives data `Yes` and enable
+    /// `Yes` together (the common case).
+    pub fn send(&mut self, port: PortId, index: usize, v: Value) -> Result<(), SimError> {
+        self.check_dir(port, Dir::Out)?;
+        self.write(port, index, Wire::Data, |s| s.write_data(Res::Yes(v)))?;
+        self.write(port, index, Wire::Enable, |s| s.write_enable(Res::Yes(())))
+    }
+
+    /// Explicitly send nothing on an output connection this time-step:
+    /// drives data `No` and enable `No`. Well-behaved modules resolve every
+    /// connected output rather than leaving it to the defaults.
+    pub fn send_nothing(&mut self, port: PortId, index: usize) -> Result<(), SimError> {
+        self.check_dir(port, Dir::Out)?;
+        self.write(port, index, Wire::Data, |s| s.write_data(Res::No))?;
+        self.write(port, index, Wire::Enable, |s| s.write_enable(Res::No))
+    }
+
+    /// Drive only the data wire (control-split protocols that decide enable
+    /// separately).
+    pub fn set_data(&mut self, port: PortId, index: usize, v: Res<Value>) -> Result<(), SimError> {
+        self.check_dir(port, Dir::Out)?;
+        self.write(port, index, Wire::Data, |s| s.write_data(v))
+    }
+
+    /// Drive only the enable wire.
+    pub fn set_enable(&mut self, port: PortId, index: usize, en: bool) -> Result<(), SimError> {
+        self.check_dir(port, Dir::Out)?;
+        let r = if en { Res::Yes(()) } else { Res::No };
+        self.write(port, index, Wire::Enable, |s| s.write_enable(r))
+    }
+
+    /// Drive the ack wire of an input connection: accept (`true`) or
+    /// refuse (`false`) the offered data.
+    pub fn set_ack(&mut self, port: PortId, index: usize, accept: bool) -> Result<(), SimError> {
+        self.check_dir(port, Dir::In)?;
+        let r = if accept { Res::Yes(()) } else { Res::No };
+        self.write(port, index, Wire::Ack, |s| s.write_ack(r))
+    }
+
+    /// Add to one of this instance's counters.
+    pub fn count(&mut self, name: &'static str, by: u64) {
+        self.stats.count(self.inst, name, by);
+    }
+
+    /// Record a sample on one of this instance's sampled stats.
+    pub fn sample(&mut self, name: &'static str, v: f64) {
+        self.stats.sample(self.inst, name, v);
+    }
+}
+
+/// Context handed to [`Module::commit`]: read-only access to the fully
+/// resolved signals of the time-step, plus statistics.
+pub struct CommitCtx<'a> {
+    inst: InstanceId,
+    info: &'a InstanceInfo,
+    store: &'a SignalStore,
+    stats: &'a mut Stats,
+    now: u64,
+}
+
+impl<'a> CommitCtx<'a> {
+    /// Current time-step.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// This instance's id.
+    pub fn instance(&self) -> InstanceId {
+        self.inst
+    }
+
+    /// This instance's name.
+    pub fn name(&self) -> &str {
+        &self.info.name
+    }
+
+    /// Number of connections on a port.
+    pub fn width(&self, port: PortId) -> usize {
+        self.info.width(port)
+    }
+
+    fn edge(&self, port: PortId, index: usize) -> Option<EdgeId> {
+        self.info.edge(port, index)
+    }
+
+    /// The value transferred in on an input connection this time-step
+    /// (data present, enabled and accepted), if any. Returns a clone;
+    /// `Value` payloads are reference counted, so this is cheap.
+    pub fn transferred_in(&self, port: PortId, index: usize) -> Option<Value> {
+        let e = self.edge(port, index)?;
+        self.store.transferred(e).cloned()
+    }
+
+    /// True iff the value this instance sent on an output connection was
+    /// accepted (the transfer completed). An unconnected slot reads as
+    /// `true` — the partial-specification default is that an absent
+    /// consumer accepts everything — so this is only meaningful when the
+    /// module actually offered something this cycle.
+    pub fn transferred_out(&self, port: PortId, index: usize) -> bool {
+        match self.edge(port, index) {
+            Some(e) => self.store.transfers_on(e),
+            None => true,
+        }
+    }
+
+    /// Final resolution of the data wire on an input connection (a clone).
+    pub fn data(&self, port: PortId, index: usize) -> Res<Value> {
+        match self.edge(port, index) {
+            Some(e) => self.store.data(e),
+            None => Res::No,
+        }
+    }
+
+    /// Final resolution of the ack wire on an output connection.
+    pub fn acked(&self, port: PortId, index: usize) -> bool {
+        match self.edge(port, index) {
+            Some(e) => self.store.ack(e).is_yes(),
+            None => true,
+        }
+    }
+
+    /// Add to one of this instance's counters.
+    pub fn count(&mut self, name: &'static str, by: u64) {
+        self.stats.count(self.inst, name, by);
+    }
+
+    /// Record a sample on one of this instance's sampled stats.
+    pub fn sample(&mut self, name: &'static str, v: f64) {
+        self.stats.sample(self.inst, name, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleSpec;
+    use crate::netlist::NetlistBuilder;
+
+    /// Sends its cycle number every step.
+    struct Src;
+    impl Module for Src {
+        fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+            ctx.send(PortId(0), 0, Value::Word(ctx.now()))
+        }
+        fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+            Ok(())
+        }
+    }
+
+    /// Sends on even cycles only (resolves its output explicitly).
+    struct EvenSrc;
+    impl Module for EvenSrc {
+        fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+            if ctx.now().is_multiple_of(2) {
+                ctx.send(PortId(0), 0, Value::Word(ctx.now()))
+            } else {
+                ctx.send_nothing(PortId(0), 0)
+            }
+        }
+        fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+            Ok(())
+        }
+    }
+
+    /// Accepts everything; counts received values in commit. Opted into
+    /// activity-gated commit with no pending state.
+    struct GatedSink;
+    impl Module for GatedSink {
+        fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+            ctx.set_ack(PortId(0), 0, true)
+        }
+        fn commit(&mut self, ctx: &mut CommitCtx<'_>) -> Result<(), SimError> {
+            ctx.count("commits", 1);
+            if ctx.transferred_in(PortId(0), 0).is_some() {
+                ctx.count("received", 1);
+            }
+            Ok(())
+        }
+    }
+
+    fn gated_sink_spec() -> ModuleSpec {
+        ModuleSpec::new("gsink")
+            .input("in", 1, 1)
+            .commit_only_when_active()
+    }
+
+    fn even_pair(sched: SchedKind) -> Simulator {
+        let mut b = NetlistBuilder::new();
+        let s = b
+            .add(
+                "s",
+                ModuleSpec::new("esrc").output("out", 1, 1),
+                Box::new(EvenSrc),
+            )
+            .unwrap();
+        let k = b.add("k", gated_sink_spec(), Box::new(GatedSink)).unwrap();
+        b.connect(s, "out", k, "in").unwrap();
+        Simulator::new(b.build().unwrap(), sched)
+    }
+
+    #[test]
+    fn gated_commit_skips_idle_steps() {
+        // 10 steps, transfers on the 5 even ones: the ungated source
+        // commits 10 times, the gated sink only 5.
+        let mut sim = even_pair(SchedKind::Dynamic);
+        sim.run(10).unwrap();
+        assert_eq!(sim.metrics().steps, 10);
+        assert_eq!(sim.metrics().commits, 10 + 5);
+        let k = sim.instance_by_name("k").unwrap();
+        assert_eq!(sim.stats().counter(k, "received"), 5);
+    }
+
+    #[test]
+    fn gated_commit_set_is_scheduler_independent() {
+        let mut commits = Vec::new();
+        for sched in [SchedKind::Sweep, SchedKind::Dynamic, SchedKind::Static] {
+            let mut sim = even_pair(sched);
+            sim.run(9).unwrap();
+            commits.push(sim.metrics().commits);
+        }
+        assert_eq!(commits[0], commits[1]);
+        assert_eq!(commits[1], commits[2]);
+    }
+
+    /// Gated module with internal pending state: a one-slot delay line.
+    struct PendingReg {
+        held: Option<Value>,
+    }
+    impl Module for PendingReg {
+        fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+            match &self.held {
+                Some(v) => ctx.send(PortId(1), 0, v.clone())?,
+                None => ctx.send_nothing(PortId(1), 0)?,
+            }
+            ctx.set_ack(PortId(0), 0, self.held.is_none())
+        }
+        fn commit(&mut self, ctx: &mut CommitCtx<'_>) -> Result<(), SimError> {
+            if self.held.is_some() && ctx.transferred_out(PortId(1), 0) {
+                self.held = None;
+            }
+            if let Some(v) = ctx.transferred_in(PortId(0), 0) {
+                self.held = Some(v);
+            }
+            Ok(())
+        }
+        fn pending(&self) -> bool {
+            self.held.is_some()
+        }
+    }
+
+    #[test]
+    fn pending_state_forces_commit_without_transfers() {
+        // Source sends once (step 0); the register holds the value and, as
+        // nothing downstream exists beyond an unconnected output... use a
+        // sink that refuses, so the register must rely on pending() to
+        // keep committing. Here: register's output is unconnected, so
+        // transferred_out is vacuously true and held clears on step 1 via
+        // its own commit — which only runs because pending() forced it.
+        struct OneShot {
+            sent: bool,
+        }
+        impl Module for OneShot {
+            fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+                if !self.sent {
+                    ctx.send(PortId(0), 0, Value::Word(42))
+                } else {
+                    ctx.send_nothing(PortId(0), 0)
+                }
+            }
+            fn commit(&mut self, ctx: &mut CommitCtx<'_>) -> Result<(), SimError> {
+                if ctx.transferred_out(PortId(0), 0) && !self.sent {
+                    self.sent = true;
+                }
+                Ok(())
+            }
+        }
+        let mut b = NetlistBuilder::new();
+        let s = b
+            .add(
+                "s",
+                ModuleSpec::new("oneshot").output("out", 1, 1),
+                Box::new(OneShot { sent: false }),
+            )
+            .unwrap();
+        let r = b
+            .add(
+                "r",
+                ModuleSpec::new("reg")
+                    .input("in", 1, 1)
+                    .output("out", 0, 1)
+                    .commit_only_when_active(),
+                Box::new(PendingReg { held: None }),
+            )
+            .unwrap();
+        b.connect(s, "out", r, "in").unwrap();
+        let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+        sim.run(1).unwrap(); // transfer s -> r; r commits (active), holds 42
+        sim.run(1).unwrap(); // no transfer; r commits anyway (pending), clears
+        let _ = r;
+        // Step 3: r is idle and empty; its commit is skipped.
+        let commits_before = sim.metrics().commits;
+        sim.run(1).unwrap();
+        // Only the (ungated) source committed in step 3.
+        assert_eq!(sim.metrics().commits, commits_before + 1);
+    }
+
+    #[test]
+    fn transfer_counts_accumulate_per_edge() {
+        let mut sim = even_pair(SchedKind::Static);
+        sim.run(10).unwrap();
+        assert_eq!(sim.transfer_counts(), &[5]);
+    }
+
+    #[test]
+    fn layered_constructor_shares_topology() {
+        let mut b = NetlistBuilder::new();
+        let s = b
+            .add(
+                "s",
+                ModuleSpec::new("src").output("out", 1, 1),
+                Box::new(Src),
+            )
+            .unwrap();
+        let k = b.add("k", gated_sink_spec(), Box::new(GatedSink)).unwrap();
+        b.connect(s, "out", k, "in").unwrap();
+        let (topo, modules) = b.build().unwrap().into_parts();
+        let topo = Arc::new(topo);
+        let mut sim1 = Simulator::from_parts(topo.clone(), modules, SchedKind::Static);
+        sim1.run(3).unwrap();
+        assert_eq!(sim1.stats().counter(k, "received"), 3);
+        // A second simulator over the same Arc<Topology> reuses the cached
+        // ranks and wake tables.
+        let modules2: Vec<Box<dyn Module>> = vec![Box::new(Src), Box::new(GatedSink)];
+        let mut sim2 = Simulator::from_parts(topo.clone(), modules2, SchedKind::Static);
+        sim2.run(5).unwrap();
+        assert_eq!(sim2.stats().counter(k, "received"), 5);
+        assert_eq!(Arc::strong_count(&topo), 3);
+    }
+
+    #[test]
+    fn idle_step_performs_no_signal_reset_writes() {
+        // Kernel-level restatement of the O(1)-reset guarantee: a step in
+        // which no module drives anything still runs the default phase
+        // (inherently O(edges)), but begin_step itself must not touch
+        // slots. We check via the store's write counter across the
+        // boundary between two steps.
+        struct Silent;
+        impl Module for Silent {
+            fn react(&mut self, _: &mut ReactCtx<'_>) -> Result<(), SimError> {
+                Ok(())
+            }
+            fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+                Ok(())
+            }
+        }
+        let mut b = NetlistBuilder::new();
+        let s = b
+            .add(
+                "s",
+                ModuleSpec::new("silent").output("out", 0, 8),
+                Box::new(Silent),
+            )
+            .unwrap();
+        let k = b
+            .add(
+                "k",
+                ModuleSpec::new("silent2").input("in", 0, 8),
+                Box::new(Silent),
+            )
+            .unwrap();
+        for _ in 0..8 {
+            b.connect(s, "out", k, "in").unwrap();
+        }
+        let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+        sim.run(1).unwrap();
+        let writes_per_idle_step = sim.store.slot_writes();
+        sim.run(1).unwrap();
+        // Steady state: every step costs the same — the default phase's
+        // (freshen + 3 wire writes) × 8 edges — with no extra reset sweep.
+        assert_eq!(sim.store.slot_writes(), writes_per_idle_step * 2);
+        assert_eq!(sim.metrics().defaults, 2 * 3 * 8);
+    }
+}

@@ -16,8 +16,11 @@
 //!   and port/template specifications;
 //! * [`netlist`] — validated flat netlists built by hand or by the LSS
 //!   elaborator (`liberty-lss`);
-//! * [`engine`] — the constructed simulator: fixed-point reaction phase,
-//!   default control semantics for partial specifications, commit phase;
+//! * the layered kernel — [`topology`] (immutable structure: CSR wake
+//!   tables, flattened port slabs, cached static ranks), [`store`] (the
+//!   epoch-stamped per-timestep signal arena with O(1) reset), and
+//!   [`exec`] (the three schedulers, default control semantics for
+//!   partial specifications, and the activity-gated commit phase);
 //! * [`sched`] — the static netlist analysis that accelerates the reaction
 //!   phase (paper ref [22]);
 //! * [`params`] / [`registry`] — algorithmic parameters and the template
@@ -61,8 +64,8 @@
 
 #![warn(missing_docs)]
 
-pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod module;
 pub mod netlist;
 pub mod params;
@@ -70,19 +73,23 @@ pub mod registry;
 pub mod sched;
 pub mod signal;
 pub mod stats;
+pub mod store;
+pub mod topology;
 pub mod trace;
 pub mod value;
 
 /// Convenience re-exports for module and system authors.
 pub mod prelude {
-    pub use crate::engine::{CommitCtx, EngineMetrics, ReactCtx, SchedKind, Simulator, Tracer};
     pub use crate::error::SimError;
+    pub use crate::exec::{CommitCtx, EngineMetrics, ReactCtx, SchedKind, Simulator, Tracer};
     pub use crate::module::{Dir, Module, ModuleSpec, PortId, PortSpec};
     pub use crate::netlist::{EdgeId, Endpoint, InstanceId, Netlist, NetlistBuilder};
     pub use crate::params::{ParamValue, Params};
     pub use crate::registry::{Instantiated, Registry, Template};
-    pub use crate::signal::{Res, SignalState, Wire};
+    pub use crate::signal::{Res, SignalState, Wire, WriteOutcome};
     pub use crate::stats::{Sample, Stats, StatsReport};
+    pub use crate::store::SignalStore;
+    pub use crate::topology::{InstanceInfo, Topology};
     pub use crate::trace::{RecordingTracer, TextTracer, TraceEvent, TraceHandle};
     pub use crate::value::Value;
 }

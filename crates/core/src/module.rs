@@ -16,8 +16,8 @@
 //!   the default control semantics). All internal state updates — queue
 //!   pushes/pops, register writes, statistics — belong here.
 
-use crate::engine::{CommitCtx, ReactCtx};
 use crate::error::SimError;
+use crate::exec::{CommitCtx, ReactCtx};
 
 /// Direction of a port, from the owning module's perspective.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,6 +62,11 @@ pub struct ModuleSpec {
     /// ports (rare). When false, ack dependencies are excluded from the
     /// static schedule's dependency graph, breaking most cycles.
     pub reads_ack_in_react: bool,
+    /// True if the kernel may skip this module's `commit` on time-steps
+    /// where it was not an endpoint of a completed transfer and does not
+    /// report [`Module::pending`] internal state. See the contract on
+    /// [`ModuleSpec::commit_only_when_active`].
+    pub commit_only_when_active: bool,
 }
 
 impl ModuleSpec {
@@ -71,6 +76,7 @@ impl ModuleSpec {
             template: template.into(),
             ports: Vec::new(),
             reads_ack_in_react: false,
+            commit_only_when_active: false,
         }
     }
 
@@ -101,6 +107,18 @@ impl ModuleSpec {
     /// dependencies in the static schedule).
     pub fn with_ack_in_react(mut self) -> Self {
         self.reads_ack_in_react = true;
+        self
+    }
+
+    /// Opt into activity-gated commit. The template thereby promises that
+    /// its `commit` is a no-op — no state change, no statistics — on any
+    /// time-step where (a) no transfer completed on any of its ports and
+    /// (b) [`Module::pending`] returns false. The kernel then skips the
+    /// call on such steps. The commit *set* is derived from the completed
+    /// transfers of the time-step's unique fixed point, so it is identical
+    /// under every scheduler.
+    pub fn commit_only_when_active(mut self) -> Self {
+        self.commit_only_when_active = true;
         self
     }
 
@@ -142,6 +160,17 @@ pub trait Module: Send {
     /// Commit handler: runs once per time-step after full resolution.
     /// Mutate state based on completed transfers.
     fn commit(&mut self, ctx: &mut CommitCtx<'_>) -> Result<(), SimError>;
+
+    /// For templates that declared
+    /// [`ModuleSpec::commit_only_when_active`]: report whether internal
+    /// state still needs per-step commit processing (e.g. a non-empty
+    /// queue aging its occupancy statistics). Returning `true` forces the
+    /// commit call even on transfer-free steps. The default (`false`)
+    /// means only completed transfers trigger commits; templates that
+    /// never opted in are committed unconditionally and can ignore this.
+    fn pending(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -174,5 +203,12 @@ mod tests {
         let spec = ModuleSpec::new("t").with_ack_in_react();
         assert!(spec.reads_ack_in_react);
         assert!(!ModuleSpec::new("t").reads_ack_in_react);
+    }
+
+    #[test]
+    fn commit_gating_flag() {
+        let spec = ModuleSpec::new("t").commit_only_when_active();
+        assert!(spec.commit_only_when_active);
+        assert!(!ModuleSpec::new("t").commit_only_when_active);
     }
 }

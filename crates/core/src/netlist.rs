@@ -8,6 +8,7 @@
 
 use crate::error::SimError;
 use crate::module::{Dir, Module, ModuleSpec, PortId};
+use crate::topology::Topology;
 use std::collections::HashMap;
 
 /// Identifier of an instance within a netlist.
@@ -86,6 +87,14 @@ impl Netlist {
     pub fn is_empty(&self) -> bool {
         self.instances.is_empty()
     }
+
+    /// Split into the layered-kernel constructor inputs: the immutable
+    /// [`Topology`] (CSR wake tables, flattened port slabs) and the module
+    /// behaviours. Wrap the topology in an `Arc` and hand both to
+    /// [`crate::exec::Simulator::from_parts`].
+    pub fn into_parts(self) -> (Topology, Vec<Box<dyn Module>>) {
+        (Topology::new(self.instances, self.edges), self.modules)
+    }
 }
 
 /// Incrementally builds a [`Netlist`], validating as it goes.
@@ -112,7 +121,9 @@ impl NetlistBuilder {
     ) -> Result<InstanceId, SimError> {
         let name = name.into();
         if self.by_name.contains_key(&name) {
-            return Err(SimError::netlist(format!("duplicate instance name {name:?}")));
+            return Err(SimError::netlist(format!(
+                "duplicate instance name {name:?}"
+            )));
         }
         let id = InstanceId(self.instances.len() as u32);
         let edges = vec![Vec::new(); spec.ports.len()];
@@ -225,7 +236,7 @@ impl NetlistBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{CommitCtx, ReactCtx};
+    use crate::exec::{CommitCtx, ReactCtx};
 
     struct Nop;
     impl Module for Nop {

@@ -144,8 +144,9 @@ impl Params {
     /// A non-negative integer parameter as `usize`, with a default.
     pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, SimError> {
         let v = self.int_or(key, default as i64)?;
-        usize::try_from(v)
-            .map_err(|_| SimError::param(format!("parameter {key:?}: expected non-negative, got {v}")))
+        usize::try_from(v).map_err(|_| {
+            SimError::param(format!("parameter {key:?}: expected non-negative, got {v}"))
+        })
     }
 
     /// A float parameter, with a default. Integer values are widened.
@@ -200,7 +201,9 @@ impl Params {
             Some(other) => Err(SimError::param(format!(
                 "parameter {key:?}: expected int, got {other}"
             ))),
-            None => Err(SimError::param(format!("missing required parameter {key:?}"))),
+            None => Err(SimError::param(format!(
+                "missing required parameter {key:?}"
+            ))),
         }
     }
 
@@ -211,7 +214,9 @@ impl Params {
             Some(other) => Err(SimError::param(format!(
                 "parameter {key:?}: expected string, got {other}"
             ))),
-            None => Err(SimError::param(format!("missing required parameter {key:?}"))),
+            None => Err(SimError::param(format!(
+                "missing required parameter {key:?}"
+            ))),
         }
     }
 }
@@ -224,7 +229,7 @@ mod tests {
     fn defaults_apply_when_absent() {
         let p = Params::new();
         assert_eq!(p.int_or("depth", 8).unwrap(), 8);
-        assert_eq!(p.bool_or("bypass", true).unwrap(), true);
+        assert!(p.bool_or("bypass", true).unwrap());
         assert_eq!(p.str_or("policy", "round_robin").unwrap(), "round_robin");
         assert_eq!(p.float_or("rate", 0.5).unwrap(), 0.5);
         assert!(p.list_or_empty("weights").unwrap().is_empty());

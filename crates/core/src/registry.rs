@@ -38,9 +38,7 @@ pub struct ExportedPort {
 /// (paper §2.1: new templates from interconnected instances of existing
 /// ones).
 pub type CompositeCtor = Box<
-    dyn Fn(&Params, &mut NetlistBuilder, &str) -> Result<Vec<ExportedPort>, SimError>
-        + Send
-        + Sync,
+    dyn Fn(&Params, &mut NetlistBuilder, &str) -> Result<Vec<ExportedPort>, SimError> + Send + Sync,
 >;
 
 enum TemplateKind {
@@ -190,7 +188,7 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{CommitCtx, ReactCtx};
+    use crate::exec::{CommitCtx, ReactCtx};
 
     struct Nop;
     impl Module for Nop {
@@ -233,10 +231,7 @@ mod tests {
     fn later_registration_shadows() {
         let mut r = reg_with_one();
         r.register("user", "nop", "custom", |_p| {
-            Ok((
-                ModuleSpec::new("nop2"),
-                Box::new(Nop) as Box<dyn Module>,
-            ))
+            Ok((ModuleSpec::new("nop2"), Box::new(Nop) as Box<dyn Module>))
         });
         let (spec, _) = r.instantiate("nop", &Params::new()).unwrap();
         assert_eq!(spec.template, "nop2");

@@ -13,15 +13,17 @@
 //! invoking it wherever the graph allows, cutting handler re-invocations —
 //! the speedup measured in experiment E10.
 
-use crate::netlist::Netlist;
+use crate::netlist::InstanceId;
+use crate::topology::Topology;
 use std::collections::VecDeque;
 
 /// Compute the scheduling rank of every instance: the topological rank of
-/// its SCC in the dependency-graph condensation.
-pub fn compute_ranks(net: &Netlist) -> Vec<u32> {
-    let n = net.instances.len();
+/// its SCC in the dependency-graph condensation. Usually reached through
+/// [`Topology::ranks`], which caches the result.
+pub fn compute_ranks(topo: &Topology) -> Vec<u32> {
+    let n = topo.instance_count();
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for e in &net.edges {
+    for e in topo.edge_metas() {
         let u = e.src.inst.0 as usize;
         let v = e.dst.inst.0;
         // Receiver depends on sender's data/enable.
@@ -29,7 +31,7 @@ pub fn compute_ranks(net: &Netlist) -> Vec<u32> {
             adj[u].push(v);
         }
         // Sender depends on receiver's ack only if it reads acks reactively.
-        if net.instances[u].spec.reads_ack_in_react && v as usize != u {
+        if topo.instance(InstanceId(u as u32)).spec.reads_ack_in_react && v as usize != u {
             adj[v as usize].push(u as u32);
         }
     }
@@ -186,7 +188,9 @@ impl RankQueue {
         while self.buckets[self.cursor].is_empty() {
             self.cursor += 1;
         }
-        let i = self.buckets[self.cursor].pop_front().expect("non-empty bucket");
+        let i = self.buckets[self.cursor]
+            .pop_front()
+            .expect("non-empty bucket");
         self.queued[i as usize] = false;
         self.len -= 1;
         Some(i)

@@ -151,7 +151,11 @@ impl SignalState {
             changed = true;
         }
         if !self.enable.is_resolved() {
-            self.enable = if self.data.is_yes() { Res::Yes(()) } else { Res::No };
+            self.enable = if self.data.is_yes() {
+                Res::Yes(())
+            } else {
+                Res::No
+            };
             changed = true;
         }
         if !self.ack.is_resolved() {

@@ -126,22 +126,21 @@ impl Stats {
     }
 
     /// Produce a human/machine-readable report keyed by instance name.
-    pub fn report(&self, names: &[String]) -> StatsReport {
+    /// Accepts any slice of string-likes (`&[&str]`, `&[String]`, …).
+    pub fn report<S: AsRef<str>>(&self, names: &[S]) -> StatsReport {
+        let name_of = |i: u32| {
+            names
+                .get(i as usize)
+                .map(|s| s.as_ref().to_owned())
+                .unwrap_or_else(|| format!("#{i}"))
+        };
         let mut counters = BTreeMap::new();
         let mut samples = BTreeMap::new();
         for ((i, n), v) in &self.counters {
-            let inst = names
-                .get(*i as usize)
-                .cloned()
-                .unwrap_or_else(|| format!("#{i}"));
-            counters.insert(format!("{inst}.{n}"), *v);
+            counters.insert(format!("{}.{n}", name_of(*i)), *v);
         }
         for ((i, n), s) in &self.samples {
-            let inst = names
-                .get(*i as usize)
-                .cloned()
-                .unwrap_or_else(|| format!("#{i}"));
-            samples.insert(format!("{inst}.{n}"), *s);
+            samples.insert(format!("{}.{n}", name_of(*i)), *s);
         }
         StatsReport { counters, samples }
     }
@@ -203,7 +202,7 @@ mod tests {
         let mut s = Stats::new();
         s.count(InstanceId(0), "x", 1);
         s.sample(InstanceId(1), "y", 2.0);
-        let r = s.report(&["alpha".into(), "beta".into()]);
+        let r = s.report(&["alpha".to_owned(), "beta".to_owned()]);
         assert_eq!(r.counters["alpha.x"], 1);
         assert_eq!(r.samples["beta.y"].n, 1);
     }

@@ -1,0 +1,266 @@
+//! The per-timestep signal valuation: an epoch-stamped arena.
+//!
+//! The naive kernel reset every connection's three wires at the start of
+//! every time-step — an O(edges) sweep that dominates idle netlists. The
+//! arena instead stamps each slot with the epoch (time-step serial) it was
+//! last written in:
+//!
+//! * **begin_step** bumps a single counter — O(1) regardless of netlist
+//!   size;
+//! * a **read** of a slot whose stamp is stale returns `Unknown`, exactly
+//!   what an explicit reset would have produced;
+//! * a **write** lazily freshens the slot (resets its wires, restamps it)
+//!   before applying, so only the edges actually touched in a step cost
+//!   any slot traffic.
+//!
+//! The store also owns the **per-step transfer list**: every write goes
+//! through [`SignalStore::write_with`], which records the edge the moment
+//! a newly-resolved wire completes its three-way handshake. Because wire
+//! resolution is monotonic, that moment occurs exactly once per edge per
+//! step — the list is duplicate-free by construction. The commit phase
+//! reads it to mark active instances, feed the tracer, and maintain
+//! per-edge transfer counts without rescanning every edge.
+
+use crate::error::SimError;
+use crate::netlist::EdgeId;
+use crate::signal::{Res, SignalState, WriteOutcome};
+use crate::value::Value;
+
+#[derive(Clone, Debug, Default)]
+struct Slot {
+    state: SignalState,
+    stamp: u64,
+}
+
+/// Epoch-stamped arena of [`SignalState`]s, one per edge.
+#[derive(Debug, Default)]
+pub struct SignalStore {
+    slots: Vec<Slot>,
+    /// Current time-step serial. Starts at 1 so freshly allocated slots
+    /// (stamp 0) are stale, i.e. read as `Unknown`.
+    epoch: u64,
+    transfers: Vec<EdgeId>,
+    slot_writes: u64,
+}
+
+impl SignalStore {
+    /// An arena for `n_edges` connections, all wires `Unknown`.
+    pub fn new(n_edges: usize) -> Self {
+        SignalStore {
+            slots: vec![Slot::default(); n_edges],
+            epoch: 1,
+            transfers: Vec::new(),
+            slot_writes: 0,
+        }
+    }
+
+    /// Number of connections in the arena.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the arena holds no connections.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Start a new time-step: one counter bump, no slot traffic.
+    #[inline]
+    pub fn begin_step(&mut self) {
+        self.epoch += 1;
+        self.transfers.clear();
+    }
+
+    #[inline]
+    fn fresh(&self, e: EdgeId) -> Option<&SignalState> {
+        let slot = &self.slots[e.0 as usize];
+        (slot.stamp == self.epoch).then_some(&slot.state)
+    }
+
+    /// Current resolution of the data wire (`Unknown` when untouched this
+    /// step). Returns a clone; `Value` payloads are reference counted.
+    #[inline]
+    pub fn data(&self, e: EdgeId) -> Res<Value> {
+        self.fresh(e).map_or(Res::Unknown, |s| s.data.clone())
+    }
+
+    /// Current resolution of the enable wire.
+    #[inline]
+    pub fn enable(&self, e: EdgeId) -> Res<()> {
+        self.fresh(e).map_or(Res::Unknown, |s| s.enable.clone())
+    }
+
+    /// Current resolution of the ack wire.
+    #[inline]
+    pub fn ack(&self, e: EdgeId) -> Res<()> {
+        self.fresh(e).map_or(Res::Unknown, |s| s.ack.clone())
+    }
+
+    /// True once all three wires of the edge resolved this step.
+    #[inline]
+    pub fn is_fully_resolved(&self, e: EdgeId) -> bool {
+        self.fresh(e)
+            .is_some_and(|s| s.data.is_resolved() && s.enable.is_resolved() && s.ack.is_resolved())
+    }
+
+    /// True iff a transfer completes on the edge this step.
+    #[inline]
+    pub fn transfers_on(&self, e: EdgeId) -> bool {
+        self.fresh(e).is_some_and(|s| s.transfers())
+    }
+
+    /// The transferred value, if the edge's handshake completed this step.
+    #[inline]
+    pub fn transferred(&self, e: EdgeId) -> Option<&Value> {
+        self.fresh(e).and_then(|s| s.transferred())
+    }
+
+    /// Apply a monotonic wire write. The slot is lazily freshened first;
+    /// when the write completes the edge's three-way handshake, the edge
+    /// is appended to the per-step transfer list.
+    #[inline]
+    pub fn write_with(
+        &mut self,
+        e: EdgeId,
+        f: impl FnOnce(&mut SignalState) -> Result<WriteOutcome, SimError>,
+    ) -> Result<WriteOutcome, SimError> {
+        let slot = &mut self.slots[e.0 as usize];
+        if slot.stamp != self.epoch {
+            slot.state.reset();
+            slot.stamp = self.epoch;
+            self.slot_writes += 1;
+        }
+        let outcome = f(&mut slot.state)?;
+        if outcome == WriteOutcome::NewlyResolved {
+            self.slot_writes += 1;
+            if slot.state.transfers() {
+                self.transfers.push(e);
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Edges whose transfer completed this step, in resolution order.
+    /// Duplicate-free (monotonicity: the handshake completes exactly once).
+    #[inline]
+    pub fn transfers(&self) -> &[EdgeId] {
+        &self.transfers
+    }
+
+    /// Total slot mutations (lazy freshens + newly-resolved writes) since
+    /// construction. Exposed so tests can verify that starting a time-step
+    /// costs zero slot traffic.
+    pub fn slot_writes(&self) -> u64 {
+        self.slot_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E0: EdgeId = EdgeId(0);
+    const E1: EdgeId = EdgeId(1);
+
+    fn complete(store: &mut SignalStore, e: EdgeId, v: u64) {
+        store
+            .write_with(e, |s| s.write_data(Res::Yes(Value::Word(v))))
+            .unwrap();
+        store
+            .write_with(e, |s| s.write_enable(Res::Yes(())))
+            .unwrap();
+        store.write_with(e, |s| s.write_ack(Res::Yes(()))).unwrap();
+    }
+
+    #[test]
+    fn fresh_store_reads_unknown() {
+        let store = SignalStore::new(2);
+        assert_eq!(store.data(E0), Res::Unknown);
+        assert_eq!(store.enable(E1), Res::Unknown);
+        assert_eq!(store.ack(E0), Res::Unknown);
+        assert!(!store.is_fully_resolved(E0));
+        assert!(!store.transfers_on(E0));
+    }
+
+    #[test]
+    fn begin_step_staleness_reads_as_reset() {
+        let mut store = SignalStore::new(2);
+        complete(&mut store, E0, 7);
+        assert!(store.transfers_on(E0));
+        store.begin_step();
+        // No slot was touched, yet every read sees a reset wire.
+        assert_eq!(store.data(E0), Res::Unknown);
+        assert!(!store.transfers_on(E0));
+        assert!(store.transfers().is_empty());
+    }
+
+    #[test]
+    fn begin_step_costs_zero_slot_writes() {
+        // The acceptance test for O(1) reset: an idle time-step (begin,
+        // nothing driven) performs no slot mutation at all, independent of
+        // how many edges exist or how many were dirtied before.
+        let mut store = SignalStore::new(64);
+        for i in 0..64 {
+            complete(&mut store, EdgeId(i), u64::from(i));
+        }
+        let dirtied = store.slot_writes();
+        assert!(dirtied > 0);
+        store.begin_step();
+        assert_eq!(
+            store.slot_writes(),
+            dirtied,
+            "starting a step must not write any slot"
+        );
+        for i in 0..64 {
+            assert_eq!(store.data(EdgeId(i)), Res::Unknown);
+        }
+    }
+
+    #[test]
+    fn write_lazily_freshens_only_touched_slot() {
+        let mut store = SignalStore::new(2);
+        complete(&mut store, E0, 1);
+        complete(&mut store, E1, 2);
+        store.begin_step();
+        let before = store.slot_writes();
+        store.write_with(E0, |s| s.write_data(Res::No)).unwrap();
+        // One freshen + one resolved write, both on the touched slot only.
+        assert_eq!(store.slot_writes(), before + 2);
+        assert_eq!(store.data(E0), Res::No);
+        assert_eq!(store.data(E1), Res::Unknown, "untouched slot stays stale");
+    }
+
+    #[test]
+    fn transfer_list_records_each_edge_once() {
+        let mut store = SignalStore::new(3);
+        complete(&mut store, E1, 5);
+        // Idempotent re-writes after completion must not duplicate.
+        store.write_with(E1, |s| s.write_ack(Res::Yes(()))).unwrap();
+        complete(&mut store, E0, 6);
+        assert_eq!(store.transfers(), &[E1, E0], "resolution order, one-shot");
+        assert_eq!(store.transferred(E1).and_then(Value::as_word), Some(5));
+    }
+
+    #[test]
+    fn incomplete_handshake_not_recorded() {
+        let mut store = SignalStore::new(1);
+        store
+            .write_with(E0, |s| s.write_data(Res::Yes(Value::Word(9))))
+            .unwrap();
+        store
+            .write_with(E0, |s| s.write_enable(Res::Yes(())))
+            .unwrap();
+        store.write_with(E0, |s| s.write_ack(Res::No)).unwrap();
+        assert!(store.transfers().is_empty());
+        assert!(store.transferred(E0).is_none());
+    }
+
+    #[test]
+    fn monotonicity_violations_surface_through_write_with() {
+        let mut store = SignalStore::new(1);
+        store.write_with(E0, |s| s.write_data(Res::No)).unwrap();
+        assert!(store
+            .write_with(E0, |s| s.write_data(Res::Yes(Value::Word(1))))
+            .is_err());
+    }
+}

@@ -1,0 +1,362 @@
+//! The immutable structure of a constructed simulator.
+//!
+//! Everything that never changes after `Netlist::build` lives here, in
+//! forms chosen for the kernel's hot loops:
+//!
+//! * instance metadata (name + customized template spec) with the
+//!   per-instance **port→edge slab** flattened into one `Vec<EdgeId>` per
+//!   instance (indexed through a small offsets table) instead of a
+//!   `Vec<Vec<EdgeId>>` of tiny heap allocations;
+//! * connection metadata ([`EdgeMeta`], indexed by [`EdgeId`]);
+//! * **CSR wake tables** — for each of the three wire kinds, a
+//!   `(offsets, readers)` pair mapping `EdgeId → [InstanceId]`: the
+//!   instances whose `react` handler must re-run when that wire of that
+//!   edge newly resolves. Data and enable flow to the receiver; ack flows
+//!   back to the sender only when the sender declared
+//!   `reads_ack_in_react` (otherwise its `commit` sees the final value
+//!   anyway and no reactive wake is needed);
+//! * the static schedule's instance ranks, computed lazily and cached, so
+//!   one `Arc<Topology>` shared by several simulators analyzes the
+//!   netlist once.
+//!
+//! A [`Topology`] is scheduler-agnostic and holds no per-timestep state;
+//! the signal valuation lives in [`crate::store::SignalStore`] and the
+//! execution policy in [`crate::exec::Simulator`].
+
+use crate::module::{ModuleSpec, PortId};
+use crate::netlist::{EdgeId, EdgeMeta, InstanceId, InstanceMeta};
+use crate::signal::Wire;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Immutable per-instance metadata with the flattened port→edge slab.
+#[derive(Debug)]
+pub struct InstanceInfo {
+    /// Hierarchical instance name (dotted path after elaboration).
+    pub name: String,
+    /// The instance's customized template spec.
+    pub spec: ModuleSpec,
+    /// `port_edges[port_offsets[p] .. port_offsets[p+1]]` are port `p`'s
+    /// edges in connection-index order.
+    port_offsets: Vec<u32>,
+    port_edges: Vec<EdgeId>,
+}
+
+impl InstanceInfo {
+    fn from_meta(meta: InstanceMeta) -> Self {
+        let mut port_offsets = Vec::with_capacity(meta.edges.len() + 1);
+        let mut port_edges = Vec::new();
+        port_offsets.push(0);
+        for port in &meta.edges {
+            port_edges.extend_from_slice(port);
+            port_offsets.push(port_edges.len() as u32);
+        }
+        InstanceInfo {
+            name: meta.name,
+            spec: meta.spec,
+            port_offsets,
+            port_edges,
+        }
+    }
+
+    /// The edges attached to a port, in connection-index order.
+    #[inline]
+    pub fn port_edges(&self, port: PortId) -> &[EdgeId] {
+        let p = port.0 as usize;
+        &self.port_edges[self.port_offsets[p] as usize..self.port_offsets[p + 1] as usize]
+    }
+
+    /// Number of connections attached to a port.
+    #[inline]
+    pub fn width(&self, port: PortId) -> usize {
+        self.port_edges(port).len()
+    }
+
+    /// The edge on a connection slot of a port, if connected.
+    #[inline]
+    pub fn edge(&self, port: PortId, index: usize) -> Option<EdgeId> {
+        self.port_edges(port).get(index).copied()
+    }
+}
+
+/// One compressed-sparse-row adjacency: `readers(e)` is the slice of
+/// instance ids between consecutive offsets.
+#[derive(Debug, Default)]
+struct Csr {
+    offsets: Vec<u32>,
+    readers: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from (edge, reader) pairs; `pairs` may arrive in any order.
+    fn build(n_edges: usize, pairs: &[(u32, u32)]) -> Self {
+        let mut counts = vec![0u32; n_edges + 1];
+        for &(e, _) in pairs {
+            counts[e as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursors = counts;
+        let mut readers = vec![0u32; pairs.len()];
+        for &(e, r) in pairs {
+            readers[cursors[e as usize] as usize] = r;
+            cursors[e as usize] += 1;
+        }
+        Csr { offsets, readers }
+    }
+
+    #[inline]
+    fn readers(&self, e: EdgeId) -> &[u32] {
+        let i = e.0 as usize;
+        &self.readers[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// The immutable composition structure shared by all schedulers.
+///
+/// Built once from a validated [`crate::netlist::Netlist`] (via
+/// [`crate::netlist::Netlist::into_parts`]); wrap it in an `Arc` to share
+/// between simulators — the cached static-schedule ranks are then
+/// computed once.
+#[derive(Debug)]
+pub struct Topology {
+    insts: Vec<InstanceInfo>,
+    edges: Vec<EdgeMeta>,
+    wake_data: Csr,
+    wake_enable: Csr,
+    wake_ack: Csr,
+    /// Per instance: true when the template opted into activity-gated
+    /// commit via [`ModuleSpec::commit_only_when_active`].
+    commit_gated: Vec<bool>,
+    ranks: OnceLock<Vec<u32>>,
+}
+
+impl Topology {
+    /// Flatten validated netlist parts into kernel form.
+    pub fn new(instances: Vec<InstanceMeta>, edges: Vec<EdgeMeta>) -> Self {
+        let n_edges = edges.len();
+        let mut data_pairs = Vec::with_capacity(n_edges);
+        let mut ack_pairs = Vec::new();
+        for (i, em) in edges.iter().enumerate() {
+            data_pairs.push((i as u32, em.dst.inst.0));
+            if instances[em.src.inst.0 as usize].spec.reads_ack_in_react {
+                ack_pairs.push((i as u32, em.src.inst.0));
+            }
+        }
+        let wake_data = Csr::build(n_edges, &data_pairs);
+        let wake_enable = Csr::build(n_edges, &data_pairs);
+        let wake_ack = Csr::build(n_edges, &ack_pairs);
+        let commit_gated = instances
+            .iter()
+            .map(|m| m.spec.commit_only_when_active)
+            .collect();
+        Topology {
+            insts: instances.into_iter().map(InstanceInfo::from_meta).collect(),
+            edges,
+            wake_data,
+            wake_enable,
+            wake_ack,
+            commit_gated,
+            ranks: OnceLock::new(),
+        }
+    }
+
+    /// Number of instances.
+    pub fn instance_count(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Number of connections.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Immutable metadata of one instance.
+    #[inline]
+    pub fn instance(&self, inst: InstanceId) -> &InstanceInfo {
+        &self.insts[inst.0 as usize]
+    }
+
+    /// Static metadata of one connection.
+    #[inline]
+    pub fn edge_meta(&self, e: EdgeId) -> &EdgeMeta {
+        &self.edges[e.0 as usize]
+    }
+
+    /// All connection metas, indexed by [`EdgeId`].
+    pub fn edge_metas(&self) -> &[EdgeMeta] {
+        &self.edges
+    }
+
+    /// The instances whose `react` must re-run when `wire` of edge `e`
+    /// newly resolves (a CSR reader-list lookup; no allocation).
+    #[inline]
+    pub fn readers(&self, wire: Wire, e: EdgeId) -> &[u32] {
+        match wire {
+            Wire::Data => self.wake_data.readers(e),
+            Wire::Enable => self.wake_enable.readers(e),
+            Wire::Ack => self.wake_ack.readers(e),
+        }
+    }
+
+    /// True when the instance's template opted into activity-gated commit.
+    #[inline]
+    pub fn commit_gated(&self, inst: usize) -> bool {
+        self.commit_gated[inst]
+    }
+
+    /// Instance name by id.
+    #[inline]
+    pub fn name(&self, inst: InstanceId) -> &str {
+        &self.insts[inst.0 as usize].name
+    }
+
+    /// Look up an instance id by name.
+    pub fn instance_by_name(&self, name: &str) -> Option<InstanceId> {
+        self.insts
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| InstanceId(i as u32))
+    }
+
+    /// Instance names in id order.
+    pub fn instance_names(&self) -> impl Iterator<Item = &str> {
+        self.insts.iter().map(|m| m.name.as_str())
+    }
+
+    /// How many instances of each template the netlist contains — the
+    /// ground truth for the reuse census (experiment E6).
+    pub fn template_census(&self) -> BTreeMap<String, usize> {
+        let mut census = BTreeMap::new();
+        for m in &self.insts {
+            *census.entry(m.spec.template.clone()).or_insert(0) += 1;
+        }
+        census
+    }
+
+    /// The static schedule's instance ranks (paper ref [22]); computed on
+    /// first use and cached for the lifetime of the topology.
+    pub fn ranks(&self) -> &[u32] {
+        self.ranks.get_or_init(|| crate::sched::compute_ranks(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::SimError;
+    use crate::exec::{CommitCtx, ReactCtx};
+    use crate::module::Module;
+    use crate::netlist::NetlistBuilder;
+
+    struct Nop;
+    impl Module for Nop {
+        fn react(&mut self, _: &mut ReactCtx<'_>) -> Result<(), SimError> {
+            Ok(())
+        }
+        fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+            Ok(())
+        }
+    }
+
+    fn two_stage() -> Topology {
+        let mut b = NetlistBuilder::new();
+        let s = b
+            .add(
+                "s",
+                ModuleSpec::new("src").output("out", 0, u32::MAX),
+                Box::new(Nop),
+            )
+            .unwrap();
+        let k = b
+            .add(
+                "k",
+                ModuleSpec::new("snk").input("in", 0, u32::MAX),
+                Box::new(Nop),
+            )
+            .unwrap();
+        b.connect(s, "out", k, "in").unwrap();
+        b.connect(s, "out", k, "in").unwrap();
+        let (topo, _mods) = b.build().unwrap().into_parts();
+        topo
+    }
+
+    #[test]
+    fn port_slabs_match_connection_order() {
+        let topo = two_stage();
+        let s = topo.instance(InstanceId(0));
+        assert_eq!(s.width(PortId(0)), 2);
+        assert_eq!(s.edge(PortId(0), 0), Some(EdgeId(0)));
+        assert_eq!(s.edge(PortId(0), 1), Some(EdgeId(1)));
+        assert_eq!(s.edge(PortId(0), 2), None);
+        assert_eq!(s.port_edges(PortId(0)), &[EdgeId(0), EdgeId(1)]);
+    }
+
+    #[test]
+    fn data_and_enable_wake_the_receiver() {
+        let topo = two_stage();
+        assert_eq!(topo.readers(Wire::Data, EdgeId(0)), &[1]);
+        assert_eq!(topo.readers(Wire::Enable, EdgeId(1)), &[1]);
+    }
+
+    #[test]
+    fn ack_wakes_nobody_without_declaration() {
+        let topo = two_stage();
+        assert!(topo.readers(Wire::Ack, EdgeId(0)).is_empty());
+        assert!(topo.readers(Wire::Ack, EdgeId(1)).is_empty());
+    }
+
+    #[test]
+    fn ack_wakes_declared_sender() {
+        let mut b = NetlistBuilder::new();
+        let s = b
+            .add(
+                "s",
+                ModuleSpec::new("src")
+                    .output("out", 0, 1)
+                    .with_ack_in_react(),
+                Box::new(Nop),
+            )
+            .unwrap();
+        let k = b
+            .add("k", ModuleSpec::new("snk").input("in", 0, 1), Box::new(Nop))
+            .unwrap();
+        b.connect(s, "out", k, "in").unwrap();
+        let (topo, _) = b.build().unwrap().into_parts();
+        assert_eq!(topo.readers(Wire::Ack, EdgeId(0)), &[0]);
+    }
+
+    #[test]
+    fn gating_flag_tracks_spec() {
+        let mut b = NetlistBuilder::new();
+        b.add(
+            "a",
+            ModuleSpec::new("t").commit_only_when_active(),
+            Box::new(Nop),
+        )
+        .unwrap();
+        b.add("b", ModuleSpec::new("t"), Box::new(Nop)).unwrap();
+        let (topo, _) = b.build().unwrap().into_parts();
+        assert!(topo.commit_gated(0));
+        assert!(!topo.commit_gated(1));
+    }
+
+    #[test]
+    fn ranks_are_cached_and_topological() {
+        let topo = two_stage();
+        let r1 = topo.ranks().as_ptr();
+        let r2 = topo.ranks().as_ptr();
+        assert_eq!(r1, r2, "ranks computed once");
+        assert!(topo.ranks()[0] < topo.ranks()[1], "sender before receiver");
+    }
+
+    #[test]
+    fn census_and_lookup() {
+        let topo = two_stage();
+        assert_eq!(topo.template_census()["src"], 1);
+        assert_eq!(topo.instance_by_name("k"), Some(InstanceId(1)));
+        assert_eq!(topo.instance_names().collect::<Vec<_>>(), vec!["s", "k"]);
+    }
+}

@@ -6,7 +6,7 @@
 //! the two common needs: a human-readable event log and an in-memory
 //! recording for programmatic inspection.
 
-use crate::engine::Tracer;
+use crate::exec::Tracer;
 use crate::value::Value;
 use parking_lot_free::Mutex;
 use std::io::Write;
@@ -120,8 +120,8 @@ impl Tracer for RecordingTracer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{CommitCtx, ReactCtx, SchedKind, Simulator};
     use crate::error::SimError;
+    use crate::exec::{CommitCtx, ReactCtx, SchedKind, Simulator};
     use crate::module::{Module, ModuleSpec, PortId};
     use crate::netlist::NetlistBuilder;
     use crate::signal::Res;
@@ -149,7 +149,11 @@ mod tests {
     fn tiny_sim() -> Simulator {
         let mut b = NetlistBuilder::new();
         let s = b
-            .add("s", ModuleSpec::new("src").output("out", 1, 1), Box::new(Src))
+            .add(
+                "s",
+                ModuleSpec::new("src").output("out", 1, 1),
+                Box::new(Src),
+            )
             .unwrap();
         let k = b
             .add("k", ModuleSpec::new("snk").input("in", 1, 1), Box::new(Snk))

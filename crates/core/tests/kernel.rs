@@ -59,7 +59,9 @@ impl Module for Stage {
     }
 }
 fn stage_spec() -> ModuleSpec {
-    ModuleSpec::new("stage").input("in", 0, 1).output("out", 0, 1)
+    ModuleSpec::new("stage")
+        .input("in", 0, 1)
+        .output("out", 0, 1)
 }
 
 /// Accepts everything; counts and sums received words.
@@ -134,7 +136,9 @@ fn pipeline_of_stages_delays_and_throttles() {
     // so it forwards at half rate once primed.
     let mut b = NetlistBuilder::new();
     let c = b.add("c", counter_spec(), Box::new(Counter)).unwrap();
-    let s = b.add("s", stage_spec(), Box::new(Stage { held: None })).unwrap();
+    let s = b
+        .add("s", stage_spec(), Box::new(Stage { held: None }))
+        .unwrap();
     let k = b.add("k", collector_spec(), Box::new(Collector)).unwrap();
     b.connect(c, "out", s, "in").unwrap();
     b.connect(s, "out", k, "in").unwrap();
@@ -246,7 +250,11 @@ fn build_chain(n_stages: usize, sched: SchedKind) -> (Simulator, InstanceId) {
     let mut prev_port = "out";
     for i in 0..n_stages {
         let s = b
-            .add(format!("s{i}"), stage_spec(), Box::new(Stage { held: None }))
+            .add(
+                format!("s{i}"),
+                stage_spec(),
+                Box::new(Stage { held: None }),
+            )
             .unwrap();
         b.connect(prev, prev_port, s, "in").unwrap();
         prev = s;
@@ -319,7 +327,10 @@ mod parking_lot_stub {
 
 impl Tracer for RecordingTracer {
     fn transfer(&mut self, now: u64, src: &str, dst: &str, _v: &Value) {
-        self.0.lock().unwrap().push((now, src.to_owned(), dst.to_owned()));
+        self.0
+            .lock()
+            .unwrap()
+            .push((now, src.to_owned(), dst.to_owned()));
     }
 }
 

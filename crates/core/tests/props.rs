@@ -106,6 +106,17 @@ fn accum_spec() -> ModuleSpec {
         .output("out", 0, u32::MAX)
 }
 
+/// Accum whose template opted into activity-gated commit: its commit only
+/// reacts to completed transfers, so skipping transfer-free steps must not
+/// change any observable. Mixing these into random netlists checks that
+/// the gating decision is scheduler-independent.
+fn gated_accum_spec() -> ModuleSpec {
+    ModuleSpec::new("gated_accum")
+        .input("in", 0, u32::MAX)
+        .output("out", 0, u32::MAX)
+        .commit_only_when_active()
+}
+
 /// Collector summing everything it receives.
 struct Collect;
 impl Module for Collect {
@@ -135,23 +146,34 @@ fn collect_spec() -> ModuleSpec {
 #[derive(Clone, Debug)]
 struct NetDesc {
     seed: u64,
-    layers: Vec<Vec<u8>>, // 0 = adder, 1 = accum
+    layers: Vec<Vec<u8>>, // 0 = adder, 1 = accum, 2 = gated accum
     wiring: Vec<u64>,
 }
 
 fn build(desc: &NetDesc, sched: SchedKind) -> (Simulator, InstanceId) {
     let mut b = NetlistBuilder::new();
     let src = b
-        .add("src", src_spec(), Box::new(RndSource { state: desc.seed | 1 }))
+        .add(
+            "src",
+            src_spec(),
+            Box::new(RndSource {
+                state: desc.seed | 1,
+            }),
+        )
         .unwrap();
     let mut prev: Vec<InstanceId> = vec![src];
     for (li, layer) in desc.layers.iter().enumerate() {
         let mut cur = Vec::new();
         for (ni, kind) in layer.iter().enumerate() {
             let name = format!("n{li}_{ni}");
-            let id = match kind % 2 {
+            let id = match kind % 3 {
                 0 => b.add(name, adder_spec(), Box::new(Adder)).unwrap(),
-                _ => b.add(name, accum_spec(), Box::new(Accum { acc: 0 })).unwrap(),
+                1 => b
+                    .add(name, accum_spec(), Box::new(Accum { acc: 0 }))
+                    .unwrap(),
+                _ => b
+                    .add(name, gated_accum_spec(), Box::new(Accum { acc: 0 }))
+                    .unwrap(),
             };
             cur.push(id);
         }
@@ -179,7 +201,7 @@ fn build(desc: &NetDesc, sched: SchedKind) -> (Simulator, InstanceId) {
 fn desc_strategy() -> impl Strategy<Value = NetDesc> {
     (
         any::<u64>(),
-        prop::collection::vec(prop::collection::vec(0u8..2, 1..5), 1..5),
+        prop::collection::vec(prop::collection::vec(0u8..3, 1..5), 1..5),
         prop::collection::vec(any::<u64>(), 5),
     )
         .prop_map(|(seed, layers, wiring)| NetDesc {
@@ -192,16 +214,29 @@ fn desc_strategy() -> impl Strategy<Value = NetDesc> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Dynamic and static scheduling reach the same fixed point on random
-    /// layered netlists, so all observable statistics agree.
+    /// All three schedulers reach the same fixed point on random layered
+    /// netlists (with activity-gated modules mixed in), so every
+    /// observable agrees: collected statistics, the per-edge transfer
+    /// counts, and the number of commit invocations (the gated-commit
+    /// skip decision is a property of the fixed point, not the schedule).
     #[test]
     fn schedulers_agree_on_random_netlists(desc in desc_strategy()) {
+        let (mut w, kw) = build(&desc, SchedKind::Sweep);
         let (mut d, kd) = build(&desc, SchedKind::Dynamic);
         let (mut s, ks) = build(&desc, SchedKind::Static);
+        w.run(20).unwrap();
         d.run(20).unwrap();
         s.run(20).unwrap();
+        prop_assert_eq!(w.stats().counter(kw, "received"), d.stats().counter(kd, "received"));
         prop_assert_eq!(d.stats().counter(kd, "received"), s.stats().counter(ks, "received"));
+        prop_assert_eq!(w.stats().counter(kw, "sum"), d.stats().counter(kd, "sum"));
         prop_assert_eq!(d.stats().counter(kd, "sum"), s.stats().counter(ks, "sum"));
+        // The same transfers completed on every edge under every schedule.
+        prop_assert_eq!(w.transfer_counts(), d.transfer_counts());
+        prop_assert_eq!(d.transfer_counts(), s.transfer_counts());
+        // Identical commit sets: gating skipped the same instances.
+        prop_assert_eq!(w.metrics().commits, d.metrics().commits);
+        prop_assert_eq!(d.metrics().commits, s.metrics().commits);
         // Static scheduling is an optimization: never more handler runs.
         prop_assert!(s.metrics().reacts <= d.metrics().reacts);
     }

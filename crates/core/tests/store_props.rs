@@ -1,0 +1,146 @@
+//! Property test of the epoch-stamped [`SignalStore`] against a reference
+//! model that pays for an explicit O(edges) reset sweep at every step
+//! boundary. Over arbitrary interleavings of monotonic wire writes,
+//! reads, and step boundaries, the two must be observationally identical:
+//! same read results, same write errors, same completed-transfer sets.
+
+use liberty_core::prelude::*;
+use proptest::prelude::*;
+
+const N_EDGES: usize = 8;
+
+/// One operation in a random store workout.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Write `Res::No` / `Res::Yes(..)` to one wire of one edge.
+    Write { edge: usize, wire: u8, yes: bool },
+    /// Advance to the next time-step.
+    BeginStep,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Roughly one step boundary per eight writes.
+    (0u8..9, 0..N_EDGES, 0u8..3, any::<bool>()).prop_map(|(sel, edge, wire, yes)| {
+        if sel == 0 {
+            Op::BeginStep
+        } else {
+            Op::Write { edge, wire, yes }
+        }
+    })
+}
+
+/// Reference store: a plain slot vector reset by an explicit sweep.
+struct ModelStore {
+    slots: Vec<SignalState>,
+    transfers: Vec<EdgeId>,
+}
+
+impl ModelStore {
+    fn new() -> Self {
+        Self {
+            slots: (0..N_EDGES).map(|_| SignalState::default()).collect(),
+            transfers: Vec::new(),
+        }
+    }
+
+    fn begin_step(&mut self) {
+        // The cost the epoch stamp avoids: touch every slot.
+        for s in &mut self.slots {
+            s.reset();
+        }
+        self.transfers.clear();
+    }
+
+    fn write(&mut self, edge: usize, wire: u8, yes: bool) -> Result<WriteOutcome, SimError> {
+        let s = &mut self.slots[edge];
+        let out = apply_write(s, wire, yes)?;
+        if out == WriteOutcome::NewlyResolved && s.transfers() {
+            self.transfers.push(EdgeId(edge as u32));
+        }
+        Ok(out)
+    }
+}
+
+fn apply_write(s: &mut SignalState, wire: u8, yes: bool) -> Result<WriteOutcome, SimError> {
+    match wire {
+        0 => s.write_data(if yes {
+            Res::Yes(Value::Word(7))
+        } else {
+            Res::No
+        }),
+        1 => s.write_enable(if yes { Res::Yes(()) } else { Res::No }),
+        _ => s.write_ack(if yes { Res::Yes(()) } else { Res::No }),
+    }
+}
+
+/// Every observable of both stores must match.
+fn assert_equiv(store: &SignalStore, model: &ModelStore) {
+    for e in 0..N_EDGES {
+        let id = EdgeId(e as u32);
+        let m = &model.slots[e];
+        assert_eq!(store.data(id), m.data.clone());
+        assert_eq!(store.enable(id), m.enable.clone());
+        assert_eq!(store.ack(id), m.ack.clone());
+        let resolved = m.data.is_resolved() && m.enable.is_resolved() && m.ack.is_resolved();
+        assert_eq!(store.is_fully_resolved(id), resolved);
+        assert_eq!(store.transfers_on(id), m.transfers());
+        assert_eq!(store.transferred(id).cloned(), m.transferred().cloned());
+    }
+    assert_eq!(store.transfers(), model.transfers.as_slice());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The epoch-stamped store and the explicit-reset model agree on
+    /// every read, every write outcome (including rejected contradictory
+    /// writes), and the per-step transfer list, under random op streams.
+    #[test]
+    fn epoch_store_matches_explicit_reset_model(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut store = SignalStore::new(N_EDGES);
+        let mut model = ModelStore::new();
+        // Both start inside a step, as the simulator uses them.
+        store.begin_step();
+        model.begin_step();
+        for op in &ops {
+            match *op {
+                Op::Write { edge, wire, yes } => {
+                    let got = store.write_with(EdgeId(edge as u32), |s| apply_write(s, wire, yes));
+                    let want = model.write(edge, wire, yes);
+                    match (got, want) {
+                        (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                        (Err(_), Err(_)) => {}
+                        (a, b) => prop_assert!(false, "outcome mismatch: {:?} vs {:?}", a, b),
+                    }
+                }
+                Op::BeginStep => {
+                    store.begin_step();
+                    model.begin_step();
+                }
+            }
+            assert_equiv(&store, &model);
+        }
+    }
+
+    /// Stale slots read as fully Unknown no matter what the previous step
+    /// left in them — begin_step alone invalidates everything.
+    #[test]
+    fn begin_step_invalidates_all_reads(writes in prop::collection::vec((0..N_EDGES, 0u8..3, any::<bool>()), 0..40)) {
+        let mut store = SignalStore::new(N_EDGES);
+        store.begin_step();
+        for &(edge, wire, yes) in &writes {
+            // Contradictory writes may error; the surviving state is
+            // irrelevant here, only that begin_step clears it.
+            let _ = store.write_with(EdgeId(edge as u32), |s| apply_write(s, wire, yes));
+        }
+        store.begin_step();
+        for e in 0..N_EDGES {
+            let id = EdgeId(e as u32);
+            prop_assert_eq!(store.data(id), Res::Unknown);
+            prop_assert_eq!(store.enable(id), Res::Unknown);
+            prop_assert_eq!(store.ack(id), Res::Unknown);
+            prop_assert!(!store.transfers_on(id));
+        }
+        prop_assert!(store.transfers().is_empty());
+    }
+}

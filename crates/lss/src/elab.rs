@@ -48,7 +48,9 @@ struct Env {
 
 impl Env {
     fn new() -> Self {
-        Env { frames: vec![HashMap::new()] }
+        Env {
+            frames: vec![HashMap::new()],
+        }
     }
 
     fn lookup(&self, name: &str) -> Option<&ParamValue> {
@@ -129,7 +131,9 @@ fn to_f64(v: &ParamValue) -> Result<f64, SimError> {
     match v {
         ParamValue::Int(i) => Ok(*i as f64),
         ParamValue::Float(x) => Ok(*x),
-        other => Err(SimError::elab(format!("expected numeric value, got {other}"))),
+        other => Err(SimError::elab(format!(
+            "expected numeric value, got {other}"
+        ))),
     }
 }
 
@@ -139,7 +143,9 @@ fn eval_index(e: &Expr, env: &Env, len: usize, what: &str) -> Result<usize, SimE
         ParamValue::Int(i) => Err(SimError::elab(format!(
             "{what}: index {i} out of range 0..{len}"
         ))),
-        other => Err(SimError::elab(format!("{what}: index must be an int, got {other}"))),
+        other => Err(SimError::elab(format!(
+            "{what}: index must be an int, got {other}"
+        ))),
     }
 }
 
@@ -196,7 +202,15 @@ impl<'a> Elaborator<'a> {
         let declared: HashMap<&str, Dir> =
             def.ports.iter().map(|p| (p.name.as_str(), p.dir)).collect();
 
-        self.elab_stmts(&def.body, prefix, def, &mut env, &mut scope, &mut exported, &declared)?;
+        self.elab_stmts(
+            &def.body,
+            prefix,
+            def,
+            &mut env,
+            &mut scope,
+            &mut exported,
+            &declared,
+        )?;
 
         self.stack.pop();
         Ok(exported)
@@ -264,11 +278,7 @@ impl<'a> Elaborator<'a> {
                                 &mut self.builder,
                                 &format!("{elem_name}."),
                             )?;
-                            *self
-                                .report
-                                .module_uses
-                                .entry(template.clone())
-                                .or_insert(0) += 1;
+                            *self.report.module_uses.entry(template.clone()).or_insert(0) += 1;
                             let map = exported
                                 .into_iter()
                                 .map(|e| {
@@ -460,7 +470,10 @@ impl<'a> Elaborator<'a> {
             // `connect inst.q -> self.p`: binds exported *output* p.
             (false, true) => {
                 let dir = declared.get(to.port.as_str()).copied().ok_or_else(|| {
-                    SimError::elab(format!("module {}: undeclared port {:?}", def.name, to.port))
+                    SimError::elab(format!(
+                        "module {}: undeclared port {:?}",
+                        def.name, to.port
+                    ))
                 })?;
                 if dir != Dir::Out {
                     return Err(SimError::elab(format!(
@@ -507,7 +520,10 @@ pub fn elaborate(
     let mut defs = HashMap::new();
     for m in &spec.modules {
         if defs.insert(m.name.as_str(), m).is_some() {
-            return Err(SimError::elab(format!("duplicate module definition {:?}", m.name)));
+            return Err(SimError::elab(format!(
+                "duplicate module definition {:?}",
+                m.name
+            )));
         }
     }
     let root_def = *defs

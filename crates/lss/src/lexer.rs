@@ -216,9 +216,8 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, SimError> {
                     bump!();
                 }
                 // A float has a '.' followed by a digit ('..' is a range).
-                let is_float = i + 1 < bytes.len()
-                    && bytes[i] == '.'
-                    && bytes[i + 1].is_ascii_digit();
+                let is_float =
+                    i + 1 < bytes.len() && bytes[i] == '.' && bytes[i + 1].is_ascii_digit();
                 if is_float {
                     bump!();
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -286,43 +285,73 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, SimError> {
                 });
             }
             '{' => {
-                out.push(Spanned { tok: Tok::LBrace, pos });
+                out.push(Spanned {
+                    tok: Tok::LBrace,
+                    pos,
+                });
                 bump!();
             }
             '}' => {
-                out.push(Spanned { tok: Tok::RBrace, pos });
+                out.push(Spanned {
+                    tok: Tok::RBrace,
+                    pos,
+                });
                 bump!();
             }
             '[' => {
-                out.push(Spanned { tok: Tok::LBracket, pos });
+                out.push(Spanned {
+                    tok: Tok::LBracket,
+                    pos,
+                });
                 bump!();
             }
             ']' => {
-                out.push(Spanned { tok: Tok::RBracket, pos });
+                out.push(Spanned {
+                    tok: Tok::RBracket,
+                    pos,
+                });
                 bump!();
             }
             '(' => {
-                out.push(Spanned { tok: Tok::LParen, pos });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    pos,
+                });
                 bump!();
             }
             ')' => {
-                out.push(Spanned { tok: Tok::RParen, pos });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    pos,
+                });
                 bump!();
             }
             ';' => {
-                out.push(Spanned { tok: Tok::Semi, pos });
+                out.push(Spanned {
+                    tok: Tok::Semi,
+                    pos,
+                });
                 bump!();
             }
             ':' => {
-                out.push(Spanned { tok: Tok::Colon, pos });
+                out.push(Spanned {
+                    tok: Tok::Colon,
+                    pos,
+                });
                 bump!();
             }
             ',' => {
-                out.push(Spanned { tok: Tok::Comma, pos });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    pos,
+                });
                 bump!();
             }
             '.' if bytes.get(i + 1) == Some(&'.') => {
-                out.push(Spanned { tok: Tok::DotDot, pos });
+                out.push(Spanned {
+                    tok: Tok::DotDot,
+                    pos,
+                });
                 bump!();
                 bump!();
             }
@@ -335,28 +364,46 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, SimError> {
                 bump!();
             }
             '-' if bytes.get(i + 1) == Some(&'>') => {
-                out.push(Spanned { tok: Tok::Arrow, pos });
+                out.push(Spanned {
+                    tok: Tok::Arrow,
+                    pos,
+                });
                 bump!();
                 bump!();
             }
             '-' => {
-                out.push(Spanned { tok: Tok::Minus, pos });
+                out.push(Spanned {
+                    tok: Tok::Minus,
+                    pos,
+                });
                 bump!();
             }
             '+' => {
-                out.push(Spanned { tok: Tok::Plus, pos });
+                out.push(Spanned {
+                    tok: Tok::Plus,
+                    pos,
+                });
                 bump!();
             }
             '*' => {
-                out.push(Spanned { tok: Tok::Star, pos });
+                out.push(Spanned {
+                    tok: Tok::Star,
+                    pos,
+                });
                 bump!();
             }
             '/' => {
-                out.push(Spanned { tok: Tok::Slash, pos });
+                out.push(Spanned {
+                    tok: Tok::Slash,
+                    pos,
+                });
                 bump!();
             }
             '%' => {
-                out.push(Spanned { tok: Tok::Percent, pos });
+                out.push(Spanned {
+                    tok: Tok::Percent,
+                    pos,
+                });
                 bump!();
             }
             other => {
@@ -406,13 +453,16 @@ mod tests {
 
     #[test]
     fn arrow_vs_minus() {
-        assert_eq!(toks("a -> b - c"), vec![
-            Tok::Ident("a".into()),
-            Tok::Arrow,
-            Tok::Ident("b".into()),
-            Tok::Minus,
-            Tok::Ident("c".into()),
-        ]);
+        assert_eq!(
+            toks("a -> b - c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Arrow,
+                Tok::Ident("b".into()),
+                Tok::Minus,
+                Tok::Ident("c".into()),
+            ]
+        );
     }
 
     #[test]

@@ -73,9 +73,12 @@ pub use elab::{elaborate, ElabReport};
 pub use parser::parse;
 
 use liberty_core::prelude::*;
+use std::sync::Arc;
 
 /// Parse, elaborate and construct a simulator in one step: LSS source in,
-/// executable simulator out (paper Fig. 1).
+/// executable simulator out (paper Fig. 1). Construction goes through the
+/// layered kernel: the elaborated netlist is split into an immutable
+/// [`Topology`] and the module behaviours, then executed over it.
 pub fn build_simulator(
     src: &str,
     registry: &Registry,
@@ -85,5 +88,9 @@ pub fn build_simulator(
 ) -> Result<(Simulator, ElabReport), SimError> {
     let spec = parser::parse(src)?;
     let (net, report) = elab::elaborate(&spec, registry, root, args)?;
-    Ok((Simulator::new(net, sched), report))
+    let (topo, modules) = net.into_parts();
+    Ok((
+        Simulator::from_parts(Arc::new(topo), modules, sched),
+        report,
+    ))
 }

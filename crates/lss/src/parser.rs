@@ -275,7 +275,9 @@ impl Parser {
             }
             other => Err(SimError::elab(format!(
                 "{pos}: expected expression, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -326,7 +328,12 @@ mod tests {
         assert_eq!(node.body.len(), 3);
         let main = &spec.modules[1];
         match &main.body[0] {
-            Stmt::Instance { name, count, template, overrides } => {
+            Stmt::Instance {
+                name,
+                count,
+                template,
+                overrides,
+            } => {
                 assert_eq!(name, "n");
                 assert!(count.is_some());
                 assert_eq!(template, "node");

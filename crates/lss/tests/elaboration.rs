@@ -399,4 +399,3 @@ fn conditional_condition_type_checked() {
         "bool or int",
     );
 }
-

@@ -90,8 +90,8 @@ impl Module for SnoopBus {
             }
         }
         let w = self.winner(&present);
-        for i in 0..n {
-            ctx.set_ack(P_REQ, i, Some(i) == w || !present[i])?;
+        for (i, &p) in present.iter().enumerate() {
+            ctx.set_ack(P_REQ, i, Some(i) == w || !p)?;
         }
         Ok(())
     }

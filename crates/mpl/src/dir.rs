@@ -136,9 +136,11 @@ impl Module for Directory {
         // a burst of invalidations cannot grow without bound.
         ctx.set_ack(D_RX, 0, self.outbox.len() < 64)?;
         match self.outbox.front() {
-            Some((dst, msg)) => {
-                ctx.send(D_TX, 0, coherence_packet(self.my_node, *dst, *msg, self.next_id))?
-            }
+            Some((dst, msg)) => ctx.send(
+                D_TX,
+                0,
+                coherence_packet(self.my_node, *dst, *msg, self.next_id),
+            )?,
             None => ctx.send_nothing(D_TX, 0)?,
         }
         Ok(())
@@ -305,9 +307,11 @@ impl Module for DirCache {
             None => ctx.send_nothing(C_RESP, 0)?,
         }
         match self.outbox.front() {
-            Some(msg) => {
-                ctx.send(C_TX, 0, coherence_packet(self.my_node, self.home, *msg, self.next_id))?
-            }
+            Some(msg) => ctx.send(
+                C_TX,
+                0,
+                coherence_packet(self.my_node, self.home, *msg, self.next_id),
+            )?,
             None => ctx.send_nothing(C_TX, 0)?,
         }
         ctx.set_ack(
@@ -385,7 +389,10 @@ impl Module for DirCache {
                 }
                 CoherenceMsg::WriteAck { tag } => {
                     if let Mode::Waiting {
-                        addr, data, write: true, ..
+                        addr,
+                        data,
+                        write: true,
+                        ..
                     } = &self.mode
                     {
                         // The write serialized at the home; our copy is

@@ -66,12 +66,22 @@ enum SendState {
     Idle,
     /// Reading `cmd`'s region: `got` accumulates, `issued` counts reads
     /// put on the memory port.
-    Reading { cmd: DmaCmd, got: Vec<u64>, issued: u64 },
+    Reading {
+        cmd: DmaCmd,
+        got: Vec<u64>,
+        issued: u64,
+    },
     /// Transmitting chunks: `sent` counts words already packed and
     /// accepted by the fabric.
-    Sending { cmd: DmaCmd, words: Vec<u64>, sent: usize },
+    Sending {
+        cmd: DmaCmd,
+        words: Vec<u64>,
+        sent: usize,
+    },
     /// Completion notice pending on `done`.
-    Done { cmd: DmaCmd },
+    Done {
+        cmd: DmaCmd,
+    },
 }
 
 /// The DMA engine. Construct with [`dma`].
@@ -97,22 +107,30 @@ impl Module for Dma {
         // Memory port: one request at a time; rx writes first.
         if self.mem_busy.is_none() {
             if let Some((addr, data)) = self.rx_writes.front() {
-                ctx.send(P_MREQ, 0, Value::wrap(MemReq {
-                    write: true,
-                    addr: *addr,
-                    data: *data,
-                    tag: u64::MAX,
-                }))?;
+                ctx.send(
+                    P_MREQ,
+                    0,
+                    Value::wrap(MemReq {
+                        write: true,
+                        addr: *addr,
+                        data: *data,
+                        tag: u64::MAX,
+                    }),
+                )?;
             } else if let SendState::Reading { cmd, got, issued } = &self.send {
                 if *issued < cmd.len && got.len() as u64 == *issued {
                     // Issue the next read only after the previous one
                     // returned (keeps responses trivially ordered).
-                    ctx.send(P_MREQ, 0, Value::wrap(MemReq {
-                        write: false,
-                        addr: cmd.src_addr + *issued,
-                        data: 0,
-                        tag: *issued,
-                    }))?;
+                    ctx.send(
+                        P_MREQ,
+                        0,
+                        Value::wrap(MemReq {
+                            write: false,
+                            addr: cmd.src_addr + *issued,
+                            data: 0,
+                            tag: *issued,
+                        }),
+                    )?;
                 } else {
                     ctx.send_nothing(P_MREQ, 0)?;
                 }

@@ -117,16 +117,22 @@ impl Module for OrderCtl {
             let r = v.downcast_ref::<MemResp>().cloned().ok_or_else(|| {
                 SimError::type_err(format!("order_ctl: expected MemResp, got {}", v.kind()))
             })?;
-            let i = self
-                .inflight
-                .take()
-                .ok_or_else(|| SimError::model("order_ctl: response with nothing in flight".to_owned()))?;
+            let i = self.inflight.take().ok_or_else(|| {
+                SimError::model("order_ctl: response with nothing in flight".to_owned())
+            })?;
             debug_assert_eq!(r.tag, i.req.tag);
             if i.drain {
                 ctx.count("stores_drained", 1);
             } else {
                 self.ready = Some(r);
-                ctx.count(if i.req.write { "stores_completed" } else { "loads_completed" }, 1);
+                ctx.count(
+                    if i.req.write {
+                        "stores_completed"
+                    } else {
+                        "loads_completed"
+                    },
+                    1,
+                );
             }
         }
         if let Some(v) = ctx.transferred_in(P_CREQ, 0) {
@@ -159,7 +165,10 @@ impl Module for OrderCtl {
                 (_, false) => {
                     if let Some(d) = self.forward(r.addr) {
                         ctx.count("forwarded_loads", 1);
-                        self.ready = Some(MemResp { tag: r.tag, data: d });
+                        self.ready = Some(MemResp {
+                            tag: r.tag,
+                            data: d,
+                        });
                     } else {
                         self.inflight = Some(Inflight {
                             req: r,

@@ -38,7 +38,10 @@ enum Mode {
     /// `clobbered` is set when another cache's write to the same address
     /// serializes while we wait — installing our value then would be
     /// stale.
-    Waiting { orig: MemReq, clobbered: bool },
+    Waiting {
+        orig: MemReq,
+        clobbered: bool,
+    },
 }
 
 /// The snooping cache module. Construct with [`snoop_cache`].
@@ -166,7 +169,10 @@ impl Module for SnoopCache {
                 };
             } else if let Some(&word) = self.lines.get(&r.addr) {
                 ctx.count("load_hits", 1);
-                self.ready = Some(MemResp { tag: r.tag, data: word });
+                self.ready = Some(MemResp {
+                    tag: r.tag,
+                    data: word,
+                });
             } else {
                 ctx.count("load_misses", 1);
                 self.mode = Mode::Waiting {

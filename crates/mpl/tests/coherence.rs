@@ -13,7 +13,12 @@ use proptest::prelude::*;
 fn run_scripts(
     scripts: Vec<Vec<Value>>,
     cycles: u64,
-) -> (Simulator, Vec<sink::Collected>, liberty_mpl::bus::SharedMem, Vec<InstanceId>) {
+) -> (
+    Simulator,
+    Vec<sink::Collected>,
+    liberty_mpl::bus::SharedMem,
+    Vec<InstanceId>,
+) {
     let mut b = NetlistBuilder::new();
     let n = scripts.len() as u32;
     let shm = shared_memory(&mut b, "shm.", n, &Params::new().with("latency", 2i64)).unwrap();
@@ -112,7 +117,8 @@ fn tso_store_buffer_forwards_and_drains() {
         MemReq::read(4, 2),
     ]);
     let s = b.add("cpu", s_spec, s_mod).unwrap();
-    let (o_spec, o_mod) = liberty_mpl::order::order_ctl(&Params::new().with("policy", "tso")).unwrap();
+    let (o_spec, o_mod) =
+        liberty_mpl::order::order_ctl(&Params::new().with("policy", "tso")).unwrap();
     let o = b.add("oc", o_spec, o_mod).unwrap();
     let (m_spec, m_mod, mem) = liberty_pcl::memarray::mem_array_shared(
         &Params::new().with("words", 64i64).with("latency", 5i64),
@@ -179,10 +185,9 @@ fn rc_coalesces_same_address_stores() {
         MemReq::write(3, 3, 2),
     ]);
     let s = b.add("cpu", s_spec, s_mod).unwrap();
-    let (o_spec, o_mod) = liberty_mpl::order::order_ctl(
-        &Params::new().with("policy", "rc").with("depth", 8i64),
-    )
-    .unwrap();
+    let (o_spec, o_mod) =
+        liberty_mpl::order::order_ctl(&Params::new().with("policy", "rc").with("depth", 8i64))
+            .unwrap();
     let o = b.add("oc", o_spec, o_mod).unwrap();
     let (m_spec, m_mod, mem) = liberty_pcl::memarray::mem_array_shared(
         &Params::new().with("words", 64i64).with("latency", 10i64),

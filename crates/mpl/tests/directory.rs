@@ -14,7 +14,12 @@ use liberty_pcl::{sink, source};
 fn run_directory(
     scripts: Vec<Vec<Value>>,
     cycles: u64,
-) -> (Simulator, Vec<sink::Collected>, liberty_mpl::bus::SharedMem, Vec<InstanceId>) {
+) -> (
+    Simulator,
+    Vec<sink::Collected>,
+    liberty_mpl::bus::SharedMem,
+    Vec<InstanceId>,
+) {
     let n = scripts.len() as u32;
     // A mesh wide enough for home + n caches.
     let w = n + 1;

@@ -13,17 +13,20 @@ fn build_cluster(
     w: u32,
     h: u32,
     cmds: Vec<Vec<DmaCmd>>,
-) -> (Simulator, Vec<SharedMem>, Vec<InstanceId>, Vec<sink::Collected>) {
+) -> (
+    Simulator,
+    Vec<SharedMem>,
+    Vec<InstanceId>,
+    Vec<sink::Collected>,
+) {
     let mut b = NetlistBuilder::new();
     let fabric = build_grid(&mut b, "net.", w, h, 4, 1, false).unwrap();
     let mut mems = Vec::new();
     let mut dmas = Vec::new();
     let mut dones = Vec::new();
     for id in 0..fabric.nodes {
-        let (m_spec, m_mod, mem) = mem_array_shared(
-            &Params::new().with("words", 512i64).with("latency", 2i64),
-        )
-        .unwrap();
+        let (m_spec, m_mod, mem) =
+            mem_array_shared(&Params::new().with("words", 512i64).with("latency", 2i64)).unwrap();
         let m = b.add(format!("mem{id}"), m_spec, m_mod).unwrap();
         let (d_spec, d_mod) = dma(id);
         let d = b.add(format!("dma{id}"), d_spec, d_mod).unwrap();
@@ -139,7 +142,11 @@ fn sequential_commands_complete_in_order() {
         mems[0].lock()[i as usize] = 7 + i;
     }
     sim.run(300).unwrap();
-    let tags: Vec<u64> = dones[0].values().iter().filter_map(Value::as_word).collect();
+    let tags: Vec<u64> = dones[0]
+        .values()
+        .iter()
+        .filter_map(Value::as_word)
+        .collect();
     assert_eq!(tags, vec![10, 11]);
     let dst = mems[1].lock();
     for i in 0..4usize {

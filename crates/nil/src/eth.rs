@@ -69,9 +69,7 @@ impl Module for Ether {
             .cloned();
         for j in 0..m {
             match &delivering {
-                Some(f)
-                    if (f.dst == BROADCAST && f.src != j as u64) || f.dst == j as u64 =>
-                {
+                Some(f) if (f.dst == BROADCAST && f.src != j as u64) || f.dst == j as u64 => {
                     ctx.send(P_RX, j, f.clone().into_value())?
                 }
                 _ => ctx.send_nothing(P_RX, j)?,
@@ -115,9 +113,7 @@ impl Module for Ether {
             if ctx.now() >= self.busy_until {
                 let m = ctx.width(P_RX);
                 let intended: Vec<usize> = (0..m)
-                    .filter(|&j| {
-                        (f.dst == BROADCAST && f.src != j as u64) || f.dst == j as u64
-                    })
+                    .filter(|&j| (f.dst == BROADCAST && f.src != j as u64) || f.dst == j as u64)
                     .collect();
                 if intended.is_empty() {
                     ctx.count("undeliverable", 1);

@@ -132,28 +132,24 @@ impl NicDev {
             5 => self.dma_sram = v,
             6 => self.dma_len = v,
             7 => self.dma_host = v,
-            8 => {
-                if matches!(self.dma, DmaState::Idle) && self.dma_len > 0 {
-                    self.dma = DmaState::Reading {
-                        remaining: self.dma_len,
-                        next: self.dma_sram,
-                        got: Vec::with_capacity(self.dma_len as usize),
-                        total: self.dma_len,
-                    };
-                }
+            8 if matches!(self.dma, DmaState::Idle) && self.dma_len > 0 => {
+                self.dma = DmaState::Reading {
+                    remaining: self.dma_len,
+                    next: self.dma_sram,
+                    got: Vec::with_capacity(self.dma_len as usize),
+                    total: self.dma_len,
+                };
             }
             10 => self.tx_sram = v,
             11 => self.tx_len = v,
             12 => self.tx_dst = v,
-            13 => {
-                if matches!(self.tx, TxState::Idle) && self.tx_len > 0 {
-                    self.tx = TxState::Reading {
-                        remaining: self.tx_len,
-                        next: self.tx_sram,
-                        got: Vec::with_capacity(self.tx_len as usize),
-                        total: self.tx_len,
-                    };
-                }
+            13 if matches!(self.tx, TxState::Idle) && self.tx_len > 0 => {
+                self.tx = TxState::Reading {
+                    remaining: self.tx_len,
+                    next: self.tx_sram,
+                    got: Vec::with_capacity(self.tx_len as usize),
+                    total: self.tx_len,
+                };
             }
             15 => self.scratch = v,
             _ => {}
@@ -175,7 +171,10 @@ impl NicDev {
                 ));
             }
         }
-        if let DmaState::Reading { remaining, next, .. } = &self.dma {
+        if let DmaState::Reading {
+            remaining, next, ..
+        } = &self.dma
+        {
             if *remaining > 0 {
                 return Some((
                     SramUser::DmaRead,
@@ -188,7 +187,10 @@ impl NicDev {
                 ));
             }
         }
-        if let TxState::Reading { remaining, next, .. } = &self.tx {
+        if let TxState::Reading {
+            remaining, next, ..
+        } = &self.tx
+        {
             if *remaining > 0 {
                 return Some((
                     SramUser::TxRead,
@@ -210,11 +212,7 @@ impl Module for NicDev {
         ctx.set_ack(P_SRAM_RESP, 0, true)?;
         ctx.set_ack(P_PCI_RESP, 0, true)?;
         // Accept frames while the fill engine and queue have room.
-        ctx.set_ack(
-            P_ETH_RX,
-            0,
-            self.rx_fill.is_none() && self.rx_q.len() < 16,
-        )?;
+        ctx.set_ack(P_ETH_RX, 0, self.rx_fill.is_none() && self.rx_q.len() < 16)?;
         // MMIO.
         match &self.mmio_ready {
             Some(r) => ctx.send(P_MMIO_RESP, 0, Value::wrap(r.clone()))?,
@@ -279,13 +277,19 @@ impl Module for NicDev {
                     *next += 1;
                 }
                 SramUser::DmaRead => {
-                    if let DmaState::Reading { remaining, next, .. } = &mut self.dma {
+                    if let DmaState::Reading {
+                        remaining, next, ..
+                    } = &mut self.dma
+                    {
                         *remaining -= 1;
                         *next += 1;
                     }
                 }
                 SramUser::TxRead => {
-                    if let TxState::Reading { remaining, next, .. } = &mut self.tx {
+                    if let TxState::Reading {
+                        remaining, next, ..
+                    } = &mut self.tx
+                    {
                         *remaining -= 1;
                         *next += 1;
                     }
@@ -341,12 +345,12 @@ impl Module for NicDev {
             }
         }
         // Frame transmitted.
-        if ctx.transferred_out(P_ETH_TX, 0) {
-            if matches!(self.tx, TxState::Reading { remaining: 0, .. }) {
-                self.tx = TxState::Idle;
-                self.tx_done += 1;
-                ctx.count("frames_sent", 1);
-            }
+        if ctx.transferred_out(P_ETH_TX, 0)
+            && matches!(self.tx, TxState::Reading { remaining: 0, .. })
+        {
+            self.tx = TxState::Idle;
+            self.tx_done += 1;
+            ctx.count("frames_sent", 1);
         }
         // Frame arriving from the wire.
         if let Some(v) = ctx.transferred_in(P_ETH_RX, 0) {

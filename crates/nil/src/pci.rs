@@ -136,8 +136,8 @@ impl Module for PciBus {
         } else {
             None
         };
-        for i in 0..n {
-            ctx.set_ack(P_MREQ, i, winner == Some(i) || !present[i])?;
+        for (i, &p) in present.iter().enumerate() {
+            ctx.set_ack(P_MREQ, i, winner == Some(i) || !p)?;
         }
         Ok(())
     }

@@ -67,7 +67,9 @@ pub fn build_prognic(
 
     // NIC SRAM: two request connections (core via splitter, device).
     let (sr_spec, sr_mod) = liberty_pcl::memarray::mem_array(
-        &Params::new().with("words", MMIO_BASE as i64).with("latency", 1i64),
+        &Params::new()
+            .with("words", MMIO_BASE as i64)
+            .with("latency", 1i64),
     )?;
     let sram = b.add(n("sram"), sr_spec, sr_mod)?;
     b.connect(sp, "lo_req", sram, "req")?;

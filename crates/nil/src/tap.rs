@@ -72,9 +72,7 @@ struct Replay {
 impl Module for Replay {
     fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
         match self.script.get(self.next) {
-            Some((at, f)) if *at <= ctx.now() => {
-                ctx.send(P_IN, 0, f.clone().into_value())
-            }
+            Some((at, f)) if *at <= ctx.now() => ctx.send(P_IN, 0, f.clone().into_value()),
             _ => ctx.send_nothing(P_IN, 0),
         }
     }
@@ -146,22 +144,28 @@ mod tests {
         let trace: FrameTrace = Arc::default();
         {
             let mut tr = trace.lock();
-            tr.push((0, EthFrame {
-                src: 0,
-                dst: 1,
-                len_bytes: 8,
-                id: 10,
-                created: 0,
-                payload: None,
-            }));
-            tr.push((5, EthFrame {
-                src: 0,
-                dst: 1,
-                len_bytes: 8,
-                id: 11,
-                created: 0,
-                payload: None,
-            }));
+            tr.push((
+                0,
+                EthFrame {
+                    src: 0,
+                    dst: 1,
+                    len_bytes: 8,
+                    id: 10,
+                    created: 0,
+                    payload: None,
+                },
+            ));
+            tr.push((
+                5,
+                EthFrame {
+                    src: 0,
+                    dst: 1,
+                    len_bytes: 8,
+                    id: 11,
+                    created: 0,
+                    payload: None,
+                },
+            ));
         }
         let mut b = NetlistBuilder::new();
         let (r_spec, r_mod) = replay_source(&trace);

@@ -48,13 +48,7 @@ fn store_and_forward_firmware_delivers_frames_to_host() {
     let hm = b.add("hostmem", hm_spec, hm_mod).unwrap();
 
     // The NIC.
-    let nic = build_prognic(
-        &mut b,
-        "nic.",
-        1,
-        Arc::new(firmware::store_and_forward()),
-    )
-    .unwrap();
+    let nic = build_prognic(&mut b, "nic.", 1, Arc::new(firmware::store_and_forward())).unwrap();
 
     // Ethernet: tx conn 0 = peer, conn 1 = NIC (MACs = station index).
     b.connect(peer, "out", eth, "tx").unwrap();
@@ -62,8 +56,10 @@ fn store_and_forward_firmware_delivers_frames_to_host() {
     b.connect(eth, "rx", peer_sink, "in").unwrap();
     b.connect(eth, "rx", nic.eth_rx.0, nic.eth_rx.1).unwrap();
     // PCI: NIC is master 0; host memory is target 0.
-    b.connect(nic.pci_req.0, nic.pci_req.1, pci, "mreq").unwrap();
-    b.connect(pci, "mresp", nic.pci_resp.0, nic.pci_resp.1).unwrap();
+    b.connect(nic.pci_req.0, nic.pci_req.1, pci, "mreq")
+        .unwrap();
+    b.connect(pci, "mresp", nic.pci_resp.0, nic.pci_resp.1)
+        .unwrap();
     b.connect(pci, "treq", hm, "req").unwrap();
     b.connect(hm, "resp", pci, "tresp").unwrap();
 

@@ -85,11 +85,7 @@ impl Arbiter {
                 } else {
                     *candidates
                         .iter()
-                        .find(|&&i| {
-                            candidates
-                                .iter()
-                                .all(|&j| j == i || self.matrix[i * n + j])
-                        })
+                        .find(|&&i| candidates.iter().all(|&j| j == i || self.matrix[i * n + j]))
                         .unwrap_or(&candidates[0])
                 }
             }
@@ -126,9 +122,9 @@ impl Module for Arbiter {
         }
         // Losers and idle connections resolve immediately; the winner's
         // acceptance mirrors the downstream ack (lossless arbitration).
-        for i in 0..n {
+        for (i, &p) in present.iter().enumerate() {
             if Some(i) != winner {
-                ctx.set_ack(P_IN, i, !present[i])?;
+                ctx.set_ack(P_IN, i, !p)?;
             }
         }
         if let Some(w) = winner {
@@ -277,9 +273,7 @@ mod tests {
         // Input 2 transmits alone first; later under full contention it
         // must wait for 1 and 3 (it was demoted to lowest priority).
         let mut b = NetlistBuilder::new();
-        let (a_spec, a_mod) = source::script(
-            std::iter::repeat(Value::Word(1)).take(6).collect(),
-        );
+        let (a_spec, a_mod) = source::script(std::iter::repeat_n(Value::Word(1), 6).collect());
         let a = b.add("a", a_spec, a_mod).unwrap();
         let (c_spec, c_mod) = source::repeating(Value::Word(2));
         let c = b.add("c", c_spec, c_mod).unwrap();

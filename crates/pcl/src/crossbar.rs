@@ -73,16 +73,14 @@ impl Module for Crossbar {
             return Ok(());
         };
         // Reject out-of-range destinations outright.
-        for d in &dsts {
-            if let Some(d) = d {
-                if *d as usize >= out_w {
-                    return Err(SimError::model(format!(
-                        "{}: Routed dst {} out of range ({} outputs)",
-                        ctx.name(),
-                        d,
-                        out_w
-                    )));
-                }
+        for d in dsts.iter().flatten() {
+            if *d as usize >= out_w {
+                return Err(SimError::model(format!(
+                    "{}: Routed dst {} out of range ({} outputs)",
+                    ctx.name(),
+                    d,
+                    out_w
+                )));
             }
         }
         let winners = self.assign(&dsts, out_w);
@@ -104,8 +102,8 @@ impl Module for Crossbar {
         }
         // Input flow control: losers refuse; idle accept; winners mirror
         // the output ack (lossless).
-        for i in 0..n {
-            match dsts[i] {
+        for (i, &dst) in dsts.iter().enumerate() {
+            match dst {
                 None => ctx.set_ack(P_IN, i, true)?,
                 Some(d) => {
                     let j = d as usize;
@@ -137,10 +135,10 @@ impl Module for Crossbar {
             }
         }
         let winners = self.assign(&dsts, out_w);
-        for j in 0..out_w {
+        for (j, &winner) in winners.iter().enumerate() {
             if ctx.transferred_out(P_OUT, j) {
                 ctx.count("forwarded", 1);
-                if let Some(w) = winners[j] {
+                if let Some(w) = winner {
                     if self.round_robin {
                         self.rr[j] = (w + 1) % n.max(1);
                     }
@@ -203,9 +201,9 @@ mod tests {
     fn routes_by_destination() {
         let mut b = NetlistBuilder::new();
         let (s_spec, s_mod) = source::script(vec![
-            Routed::new(1, Value::Word(10)),
-            Routed::new(0, Value::Word(20)),
-            Routed::new(1, Value::Word(30)),
+            Routed::wrap(1, Value::Word(10)),
+            Routed::wrap(0, Value::Word(20)),
+            Routed::wrap(1, Value::Word(30)),
         ]);
         let s = b.add("s", s_spec, s_mod).unwrap();
         let (x_spec, x_mod) = crossbar(&Params::new()).unwrap();
@@ -229,13 +227,13 @@ mod tests {
     fn contention_is_arbitrated_and_lossless() {
         let mut b = NetlistBuilder::new();
         let (a_spec, a_mod) = source::script(vec![
-            Routed::new(0, Value::Word(1)),
-            Routed::new(0, Value::Word(2)),
+            Routed::wrap(0, Value::Word(1)),
+            Routed::wrap(0, Value::Word(2)),
         ]);
         let a = b.add("a", a_spec, a_mod).unwrap();
         let (c_spec, c_mod) = source::script(vec![
-            Routed::new(0, Value::Word(3)),
-            Routed::new(0, Value::Word(4)),
+            Routed::wrap(0, Value::Word(3)),
+            Routed::wrap(0, Value::Word(4)),
         ]);
         let c = b.add("c", c_spec, c_mod).unwrap();
         let (x_spec, x_mod) = crossbar(&Params::new().with("policy", "round_robin")).unwrap();
@@ -258,7 +256,7 @@ mod tests {
     #[test]
     fn strip_false_forwards_routed() {
         let mut b = NetlistBuilder::new();
-        let (s_spec, s_mod) = source::script(vec![Routed::new(0, Value::Word(5))]);
+        let (s_spec, s_mod) = source::script(vec![Routed::wrap(0, Value::Word(5))]);
         let s = b.add("s", s_spec, s_mod).unwrap();
         let (x_spec, x_mod) = crossbar(&Params::new().with("strip", false)).unwrap();
         let x = b.add("x", x_spec, x_mod).unwrap();
@@ -278,7 +276,7 @@ mod tests {
     #[test]
     fn out_of_range_destination_errors() {
         let mut b = NetlistBuilder::new();
-        let (s_spec, s_mod) = source::script(vec![Routed::new(7, Value::Word(5))]);
+        let (s_spec, s_mod) = source::script(vec![Routed::wrap(7, Value::Word(5))]);
         let s = b.add("s", s_spec, s_mod).unwrap();
         let (x_spec, x_mod) = crossbar(&Params::new()).unwrap();
         let x = b.add("x", x_spec, x_mod).unwrap();

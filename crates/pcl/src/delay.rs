@@ -54,8 +54,12 @@ pub fn delay(params: &Params) -> Result<Instantiated, SimError> {
     if latency == 0 {
         return Err(SimError::param("delay: latency must be >= 1 (use a wire)"));
     }
+    // Commit only reacts to completed transfers; idle steps are skipped.
     Ok((
-        ModuleSpec::new("delay").input("in", 0, 1).output("out", 0, 1),
+        ModuleSpec::new("delay")
+            .input("in", 0, 1)
+            .output("out", 0, 1)
+            .commit_only_when_active(),
         Box::new(Delay {
             latency,
             inflight: VecDeque::new(),
@@ -65,7 +69,12 @@ pub fn delay(params: &Params) -> Result<Instantiated, SimError> {
 
 /// Register the `delay` template.
 pub fn register(reg: &mut Registry) {
-    reg.register("pcl", "delay", "fixed-latency stalling delay line; params: latency", delay);
+    reg.register(
+        "pcl",
+        "delay",
+        "fixed-latency stalling delay line; params: latency",
+        delay,
+    );
 }
 
 #[cfg(test)]

@@ -45,7 +45,7 @@ pub struct Routed {
 
 impl Routed {
     /// Wrap a payload for a destination.
-    pub fn new(dst: u32, payload: Value) -> Value {
+    pub fn wrap(dst: u32, payload: Value) -> Value {
         Value::wrap(Routed { dst, payload })
     }
 
@@ -86,7 +86,7 @@ mod tests {
 
     #[test]
     fn routed_roundtrip() {
-        let v = Routed::new(3, Value::Word(9));
+        let v = Routed::wrap(3, Value::Word(9));
         let r = Routed::from_value(&v).unwrap();
         assert_eq!(r.dst, 3);
         assert_eq!(r.payload.as_word(), Some(9));

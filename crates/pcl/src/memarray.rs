@@ -117,10 +117,8 @@ impl Module for SharedArray {
                     ctx.count("reads", 1);
                     words[idx]
                 };
-                self.pending[i].push_back((
-                    ctx.now() + self.latency,
-                    MemResp { tag: req.tag, data },
-                ));
+                self.pending[i]
+                    .push_back((ctx.now() + self.latency, MemResp { tag: req.tag, data }));
             }
         }
         Ok(())
@@ -204,10 +202,8 @@ impl Module for MemArray {
                     ctx.count("reads", 1);
                     self.words[idx]
                 };
-                self.pending[i].push_back((
-                    ctx.now() + self.latency,
-                    MemResp { tag: req.tag, data },
-                ));
+                self.pending[i]
+                    .push_back((ctx.now() + self.latency, MemResp { tag: req.tag, data }));
             }
         }
         Ok(())
@@ -255,12 +251,8 @@ mod tests {
         let mut b = NetlistBuilder::new();
         let (s_spec, s_mod) = source::script(script);
         let s = b.add("s", s_spec, s_mod).unwrap();
-        let (m_spec, m_mod) = mem_array(
-            &Params::new()
-                .with("words", 64i64)
-                .with("latency", latency),
-        )
-        .unwrap();
+        let (m_spec, m_mod) =
+            mem_array(&Params::new().with("words", 64i64).with("latency", latency)).unwrap();
         let m = b.add("m", m_spec, m_mod).unwrap();
         let (k_spec, k_mod, h) = sink::collecting();
         let k = b.add("k", k_spec, k_mod).unwrap();
@@ -276,11 +268,7 @@ mod tests {
 
     #[test]
     fn write_then_read_returns_written_value() {
-        let resps = run_mem(
-            vec![MemReq::write(5, 42, 100), MemReq::read(5, 101)],
-            1,
-            10,
-        );
+        let resps = run_mem(vec![MemReq::write(5, 42, 100), MemReq::read(5, 101)], 1, 10);
         assert_eq!(resps.len(), 2);
         assert_eq!(resps[0], MemResp { tag: 100, data: 42 });
         assert_eq!(resps[1], MemResp { tag: 101, data: 42 });
@@ -303,11 +291,7 @@ mod tests {
 
     #[test]
     fn addresses_wrap_modulo_size() {
-        let resps = run_mem(
-            vec![MemReq::write(64 + 3, 9, 0), MemReq::read(3, 1)],
-            1,
-            10,
-        );
+        let resps = run_mem(vec![MemReq::write(64 + 3, 9, 0), MemReq::read(3, 1)], 1, 10);
         assert_eq!(resps[1].data, 9);
     }
 

@@ -141,6 +141,12 @@ impl Module for Queue {
         popped.clear();
         Ok(())
     }
+
+    fn pending(&self) -> bool {
+        // Occupancy/full_cycles bookkeeping must run while anything is
+        // buffered, even on steps without a transfer.
+        !self.items.is_empty()
+    }
 }
 
 /// Construct a queue instance from parameters (see module docs).
@@ -150,9 +156,13 @@ pub fn queue(params: &Params) -> Result<Instantiated, SimError> {
         return Err(SimError::param("queue: depth must be >= 1"));
     }
     let bypass = params.bool_or("bypass", false)?;
+    // Commit is a no-op when no transfer touched the queue and it holds
+    // nothing (occupancy/full_cycles stats only matter while occupied),
+    // so the kernel may skip it on idle-and-empty steps.
     let spec = ModuleSpec::new("queue")
         .input("in", 0, if bypass { 1 } else { u32::MAX })
-        .output("out", 0, if bypass { 1 } else { u32::MAX });
+        .output("out", 0, if bypass { 1 } else { u32::MAX })
+        .commit_only_when_active();
     Ok((
         spec,
         Box::new(Queue {
@@ -179,7 +189,11 @@ mod tests {
     use crate::sink;
     use crate::source;
 
-    fn pipeline(depth: usize, bypass: bool, feed: Vec<Value>) -> (Simulator, InstanceId, sink::Collected) {
+    fn pipeline(
+        depth: usize,
+        bypass: bool,
+        feed: Vec<Value>,
+    ) -> (Simulator, InstanceId, sink::Collected) {
         let mut b = NetlistBuilder::new();
         let (s_spec, s_mod) = source::script(feed);
         let src = b.add("src", s_spec, s_mod).unwrap();

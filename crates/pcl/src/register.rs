@@ -41,10 +41,13 @@ impl Module for Reg {
 
 /// Construct a pipeline register.
 pub fn reg(_params: &Params) -> Result<Instantiated, SimError> {
+    // Commit only reacts to completed transfers, so the kernel may skip
+    // it on steps where none touched this register.
     Ok((
         ModuleSpec::new("register")
             .input("in", 0, 1)
-            .output("out", 0, 1),
+            .output("out", 0, 1)
+            .commit_only_when_active(),
         Box::new(Reg { held: None }),
     ))
 }

@@ -59,7 +59,10 @@ impl Module for Sink {
 }
 
 fn sink_spec() -> ModuleSpec {
-    ModuleSpec::new("sink").input("in", 0, u32::MAX)
+    // Commit only counts received transfers; idle steps are skipped.
+    ModuleSpec::new("sink")
+        .input("in", 0, u32::MAX)
+        .commit_only_when_active()
 }
 
 /// An always-accepting sink that counts (and checksums) what it receives.

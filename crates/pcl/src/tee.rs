@@ -92,7 +92,12 @@ pub fn tee(params: &Params) -> Result<Instantiated, SimError> {
 
 /// Register the `tee` template.
 pub fn register(reg: &mut Registry) {
-    reg.register("pcl", "tee", "1-to-N replicator; params: policy = all | any", tee);
+    reg.register(
+        "pcl",
+        "tee",
+        "1-to-N replicator; params: policy = all | any",
+        tee,
+    );
 }
 
 #[cfg(test)]

@@ -140,7 +140,7 @@ proptest! {
                 .map(|(j, &dst)| {
                     let tag = (si * 100 + j) as u64;
                     sent[dst as usize].push(tag);
-                    Routed::new(dst, Value::Word(tag))
+                    Routed::wrap(dst, Value::Word(tag))
                 })
                 .collect();
             let (s_spec, s_mod) = source::script(script);

@@ -65,9 +65,7 @@ pub struct Cmp {
 impl Cmp {
     /// True once every consumer has halted.
     pub fn done(&self) -> bool {
-        self.cores
-            .iter()
-            .all(|c| c.arch.is_halted())
+        self.cores.iter().all(|c| c.arch.is_halted())
     }
 
     /// Check every pair's result against the reference sum.
@@ -106,14 +104,16 @@ pub fn build_cmp(b: &mut NetlistBuilder, prefix: &str, cfg: &CmpConfig) -> Resul
             external_mem: true,
             ..CoreConfig::default()
         };
-        let (handles, exported) = build_core(
-            b,
-            &format!("{prefix}core{c}."),
-            Arc::new(prog),
-            &core_cfg,
-        )?;
-        let mem_req = exported.iter().find(|e| e.name == "mem_req").expect("exported");
-        let mem_resp = exported.iter().find(|e| e.name == "mem_resp").expect("exported");
+        let (handles, exported) =
+            build_core(b, &format!("{prefix}core{c}."), Arc::new(prog), &core_cfg)?;
+        let mem_req = exported
+            .iter()
+            .find(|e| e.name == "mem_req")
+            .expect("exported");
+        let mem_resp = exported
+            .iter()
+            .find(|e| e.name == "mem_resp")
+            .expect("exported");
         match &cfg.ordering {
             Some(policy) => {
                 let (o_spec, o_mod) =
@@ -126,7 +126,12 @@ pub fn build_cmp(b: &mut NetlistBuilder, prefix: &str, cfg: &CmpConfig) -> Resul
             }
             None => {
                 b.connect(mem_req.inst, &mem_req.port, shm.caches[c as usize], "req")?;
-                b.connect(shm.caches[c as usize], "resp", mem_resp.inst, &mem_resp.port)?;
+                b.connect(
+                    shm.caches[c as usize],
+                    "resp",
+                    mem_resp.inst,
+                    &mem_resp.port,
+                )?;
             }
         }
         core_handles.push(handles);
@@ -177,5 +182,6 @@ pub fn build_cmp(b: &mut NetlistBuilder, prefix: &str, cfg: &CmpConfig) -> Resul
 pub fn cmp_simulator(cfg: &CmpConfig, sched: SchedKind) -> Result<(Simulator, Cmp), SimError> {
     let mut b = NetlistBuilder::new();
     let cmp = build_cmp(&mut b, "", cfg)?;
-    Ok((Simulator::new(b.build()?, sched), cmp))
+    let (topo, modules) = b.build()?.into_parts();
+    Ok((Simulator::from_parts(Arc::new(topo), modules, sched), cmp))
 }

@@ -100,9 +100,8 @@ pub fn build_grid_system(
     let mut cores = Vec::new();
     for id in 0..nodes {
         let np = format!("{prefix}n{id}.");
-        let (m_spec, m_mod, mem) = mem_array_shared(
-            &Params::new().with("words", 1024i64).with("latency", 2i64),
-        )?;
+        let (m_spec, m_mod, mem) =
+            mem_array_shared(&Params::new().with("words", 1024i64).with("latency", 2i64))?;
         let m = b.add(format!("{np}mem"), m_spec, m_mod)?;
         let (d_spec, d_mod) = dma(id);
         let d = b.add(format!("{np}dma"), d_spec, d_mod)?;
@@ -150,5 +149,6 @@ pub fn grid_simulator(cfg: &GridConfig, sched: SchedKind) -> Result<(Simulator, 
     let mut b = NetlistBuilder::new();
     let grid = build_grid_system(&mut b, "", cfg)?;
     grid.seed();
-    Ok((Simulator::new(b.build()?, sched), grid))
+    let (topo, modules) = b.build()?.into_parts();
+    Ok((Simulator::from_parts(Arc::new(topo), modules, sched), grid))
 }

@@ -59,11 +59,17 @@ mod tests {
     #[test]
     fn full_registry_spans_all_libraries() {
         let reg = full_registry();
-        for t in ["queue", "lir_core", "mesh_noc", "order_ctl", "ether", "radio_ni"] {
+        for t in [
+            "queue",
+            "lir_core",
+            "mesh_noc",
+            "order_ctl",
+            "ether",
+            "radio_ni",
+        ] {
             assert!(reg.get(t).is_ok(), "missing {t}");
         }
-        let libs: std::collections::BTreeSet<_> =
-            reg.iter().map(|t| t.library.clone()).collect();
+        let libs: std::collections::BTreeSet<_> = reg.iter().map(|t| t.library.clone()).collect();
         assert!(libs.len() >= 6, "libraries present: {libs:?}");
     }
 }

@@ -90,8 +90,14 @@ pub fn build_sensor_net(
                 ..CoreConfig::default()
             };
             let (h, exported) = build_core(b, &format!("{np}{name}."), Arc::new(prog), &core_cfg)?;
-            let mem_req = exported.iter().find(|e| e.name == "mem_req").expect("exported");
-            let mem_resp = exported.iter().find(|e| e.name == "mem_resp").expect("exported");
+            let mem_req = exported
+                .iter()
+                .find(|e| e.name == "mem_req")
+                .expect("exported");
+            let mem_resp = exported
+                .iter()
+                .find(|e| e.name == "mem_resp")
+                .expect("exported");
             b.connect(mem_req.inst, &mem_req.port, shm.caches[c], "req")?;
             b.connect(shm.caches[c], "resp", mem_resp.inst, &mem_resp.port)?;
             Ok(h)
@@ -132,5 +138,6 @@ pub fn sensor_simulator(
 ) -> Result<(Simulator, SensorNet), SimError> {
     let mut b = NetlistBuilder::new();
     let net = build_sensor_net(&mut b, "", cfg)?;
-    Ok((Simulator::new(b.build()?, sched), net))
+    let (topo, modules) = b.build()?.into_parts();
+    Ok((Simulator::from_parts(Arc::new(topo), modules, sched), net))
 }

@@ -21,6 +21,7 @@ use liberty_core::prelude::*;
 use liberty_mpl::dma::{dma, DmaChunk};
 use liberty_nil::nicdev::Words;
 use liberty_pcl::memarray::{mem_array_shared, SharedMem};
+use std::sync::Arc;
 
 /// System-of-systems configuration.
 #[derive(Clone, Debug)]
@@ -153,9 +154,8 @@ pub fn build_sos(b: &mut NetlistBuilder, cfg: &SosConfig) -> Result<Sos, SimErro
     )?;
     let (fo, fp) = mesh.local_out[mesh_exit as usize];
     b.connect(fo, fp, ck, "in")?;
-    let (m_spec, m_mod, camp_mem) = mem_array_shared(
-        &Params::new().with("words", 2048i64).with("latency", 2i64),
-    )?;
+    let (m_spec, m_mod, camp_mem) =
+        mem_array_shared(&Params::new().with("words", 2048i64).with("latency", 2i64))?;
     let camp_m = b.add("camp.mem", m_spec, m_mod)?;
     let (d_spec, d_mod) = dma(0);
     let camp_dma = b.add("camp.dma", d_spec, d_mod)?;
@@ -176,5 +176,6 @@ pub fn build_sos(b: &mut NetlistBuilder, cfg: &SosConfig) -> Result<Sos, SimErro
 pub fn sos_simulator(cfg: &SosConfig, sched: SchedKind) -> Result<(Simulator, Sos), SimError> {
     let mut b = NetlistBuilder::new();
     let sos = build_sos(&mut b, cfg)?;
-    Ok((Simulator::new(b.build()?, sched), sos))
+    let (topo, modules) = b.build()?.into_parts();
+    Ok((Simulator::from_parts(Arc::new(topo), modules, sched), sos))
 }

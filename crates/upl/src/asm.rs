@@ -21,7 +21,10 @@ use liberty_core::prelude::SimError;
 use std::collections::HashMap;
 
 fn split_operands(s: &str) -> Vec<String> {
-    s.split(',').map(|p| p.trim().to_owned()).filter(|p| !p.is_empty()).collect()
+    s.split(',')
+        .map(|p| p.trim().to_owned())
+        .filter(|p| !p.is_empty())
+        .collect()
 }
 
 fn parse_imm(s: &str) -> Result<i64, SimError> {
@@ -48,7 +51,11 @@ fn parse_mem_operand(s: &str) -> Result<(i64, u8), SimError> {
         return Err(SimError::model(format!("bad memory operand {s:?}")));
     }
     let off_str = &s[..open];
-    let off = if off_str.trim().is_empty() { 0 } else { parse_imm(off_str)? };
+    let off = if off_str.trim().is_empty() {
+        0
+    } else {
+        parse_imm(off_str)?
+    };
     let reg = parse_reg(s[open + 1..s.len() - 1].trim())?;
     Ok((off, reg))
 }
@@ -268,9 +275,30 @@ mod tests {
     #[test]
     fn memory_operands() {
         let p = assemble("t", "ld r1, 8(r2)\nst r3, -4(r4)\nld r5, (r6)\nhalt").unwrap();
-        assert_eq!(p.instrs[0], Instr::Ld { rd: 1, rs1: 2, off: 8 });
-        assert_eq!(p.instrs[1], Instr::St { rs2: 3, rs1: 4, off: -4 });
-        assert_eq!(p.instrs[2], Instr::Ld { rd: 5, rs1: 6, off: 0 });
+        assert_eq!(
+            p.instrs[0],
+            Instr::Ld {
+                rd: 1,
+                rs1: 2,
+                off: 8
+            }
+        );
+        assert_eq!(
+            p.instrs[1],
+            Instr::St {
+                rs2: 3,
+                rs1: 4,
+                off: -4
+            }
+        );
+        assert_eq!(
+            p.instrs[2],
+            Instr::Ld {
+                rd: 5,
+                rs1: 6,
+                off: 0
+            }
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ enum Mode {
         sent: usize,
     },
     /// Write-through in flight: waiting for the backing store to confirm.
-    Store { orig: MemReq, sent: bool },
+    Store {
+        orig: MemReq,
+        sent: bool,
+    },
 }
 
 /// The cache module. Construct with [`cache`].
@@ -73,10 +76,7 @@ impl Cache {
     fn lookup(&mut self, addr: u64) -> Option<&mut Line> {
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
-        self.lines[set]
-            .iter_mut()
-            .flatten()
-            .find(|l| l.tag == tag)
+        self.lines[set].iter_mut().flatten().find(|l| l.tag == tag)
     }
 
     fn install(&mut self, addr: u64, data: Vec<u64>) {
@@ -198,8 +198,13 @@ impl Module for Cache {
             Some((orig, Some(data))) => {
                 let value = data[self.offset_of(orig.addr)];
                 self.install(orig.addr, data);
-                self.ready
-                    .push_back((now + 1, MemResp { tag: orig.tag, data: value }));
+                self.ready.push_back((
+                    now + 1,
+                    MemResp {
+                        tag: orig.tag,
+                        data: value,
+                    },
+                ));
                 self.mode = Mode::Idle;
             }
             Some((orig, None)) => {
@@ -317,10 +322,9 @@ mod tests {
         )
         .unwrap();
         let c = b.add("c", c_spec, c_mod).unwrap();
-        let (m_spec, m_mod) = memarray::mem_array(
-            &Params::new().with("words", 256i64).with("latency", 3i64),
-        )
-        .unwrap();
+        let (m_spec, m_mod) =
+            memarray::mem_array(&Params::new().with("words", 256i64).with("latency", 3i64))
+                .unwrap();
         let m = b.add("m", m_spec, m_mod).unwrap();
         let (k_spec, k_mod, h) = sink::collecting();
         let k = b.add("k", k_spec, k_mod).unwrap();
@@ -340,10 +344,7 @@ mod tests {
 
     #[test]
     fn read_after_write_returns_value() {
-        let (resps, sim, c) = run_cache(
-            vec![MemReq::write(10, 99, 0), MemReq::read(10, 1)],
-            60,
-        );
+        let (resps, sim, c) = run_cache(vec![MemReq::write(10, 99, 0), MemReq::read(10, 1)], 60);
         assert_eq!(resps.len(), 2);
         assert_eq!(resps[1], MemResp { tag: 1, data: 99 });
         let s = sim.stats();

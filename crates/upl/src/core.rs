@@ -256,7 +256,11 @@ pub fn core_simulator(
 ) -> Result<(Simulator, CoreHandles), SimError> {
     let mut b = NetlistBuilder::new();
     let (handles, _) = build_core(&mut b, "", prog, cfg)?;
-    Ok((Simulator::new(b.build()?, sched), handles))
+    let (topo, modules) = b.build()?.into_parts();
+    Ok((
+        Simulator::from_parts(Arc::new(topo), modules, sched),
+        handles,
+    ))
 }
 
 /// Run a core simulator until its program halts (plus a small drain) or

@@ -156,7 +156,10 @@ impl Module for Decode {
             let f = v.downcast_ref::<Fetched>().expect("checked in react");
             if f.epoch >= self.epoch {
                 if let Some(d) = f.instr.dest() {
-                    self.busy.push(Busy { seq: f.seq, dest: d });
+                    self.busy.push(Busy {
+                        seq: f.seq,
+                        dest: d,
+                    });
                 }
             }
         }

@@ -47,11 +47,15 @@ impl Execute {
             halt,
         };
         match u.instr {
-            Instr::Alu { op, rd, .. } => o.result = Some(wb((rd != 0).then_some(rd), op.eval(u.a, u.b), false)),
+            Instr::Alu { op, rd, .. } => {
+                o.result = Some(wb((rd != 0).then_some(rd), op.eval(u.a, u.b), false))
+            }
             Instr::AluI { op, rd, imm, .. } => {
                 o.result = Some(wb((rd != 0).then_some(rd), op.eval(u.a, imm as u64), false))
             }
-            Instr::Li { rd, imm } => o.result = Some(wb((rd != 0).then_some(rd), imm as u64, false)),
+            Instr::Li { rd, imm } => {
+                o.result = Some(wb((rd != 0).then_some(rd), imm as u64, false))
+            }
             Instr::Nop => o.result = Some(wb(None, 0, false)),
             Instr::Halt => o.result = Some(wb(None, 0, true)),
             Instr::Ld { rd, off, .. } => {

@@ -120,7 +120,9 @@ impl Module for Fetch {
                 Instr::Halt => self.stopped = true,
                 Instr::Jal { target, .. } => self.pc = target,
                 Instr::Jalr { .. } => self.stalled = true,
-                Instr::Br { target, cond: _, .. } => {
+                Instr::Br {
+                    target, cond: _, ..
+                } => {
                     // Recompute what react sent: stall or predicted path.
                     // react's decision is a pure function of state + the
                     // final predictor answer, available here.
@@ -128,9 +130,7 @@ impl Module for Fetch {
                     if use_pred {
                         match ctx.data(P_PRED_A, 0) {
                             Res::Yes(v) => {
-                                let p = v
-                                    .downcast_ref::<Prediction>()
-                                    .expect("checked in react");
+                                let p = v.downcast_ref::<Prediction>().expect("checked in react");
                                 if p.taken {
                                     self.pc = p.target.unwrap_or(target);
                                 } else {

@@ -253,7 +253,10 @@ impl Instr {
 
     /// True for control-flow instructions (branches and jumps).
     pub fn is_control(&self) -> bool {
-        matches!(self, Instr::Br { .. } | Instr::Jal { .. } | Instr::Jalr { .. })
+        matches!(
+            self,
+            Instr::Br { .. } | Instr::Jal { .. } | Instr::Jalr { .. }
+        )
     }
 
     /// True for memory instructions.
@@ -284,7 +287,9 @@ pub fn parse_reg(s: &str) -> Result<u8, SimError> {
         .parse()
         .map_err(|_| SimError::model(format!("bad register {s:?}")))?;
     if n >= 32 {
-        return Err(SimError::model(format!("register {s:?} out of range (r0..r31)")));
+        return Err(SimError::model(format!(
+            "register {s:?} out of range (r0..r31)"
+        )));
     }
     Ok(n)
 }
@@ -356,7 +361,12 @@ mod tests {
             target: 0
         }
         .is_control());
-        assert!(Instr::Ld { rd: 1, rs1: 0, off: 0 }.is_mem());
+        assert!(Instr::Ld {
+            rd: 1,
+            rs1: 0,
+            off: 0
+        }
+        .is_mem());
         assert!(!Instr::Nop.is_control());
     }
 

@@ -244,10 +244,7 @@ mod tests {
         }
         // After heavy training the two history contexts disagree; at least
         // the predictor must have a target cached.
-        assert_eq!(
-            p.btb[(9usize) % p.btb.len()].map(|(_, t)| t),
-            Some(4)
-        );
+        assert_eq!(p.btb[(9usize) % p.btb.len()].map(|(_, t)| t), Some(4));
     }
 
     #[test]

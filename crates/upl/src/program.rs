@@ -101,7 +101,9 @@ pub fn pointer_chase(nodes: u64, hops: u64) -> Program {
     let mut order: Vec<u64> = (0..nodes).collect();
     let mut state = 0x2545F4914F6CDD1Du64;
     for i in (1..nodes as usize).rev() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (state >> 33) as usize % (i + 1);
         order.swap(i, j);
     }
@@ -212,7 +214,9 @@ pub fn sort(n: u64) -> Program {
     p.mem_words = p.mem_words.max(n as usize + 16);
     let mut state = 0xDEADBEEFu64;
     for i in 0..n {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         p.init_mem.push((i, (state >> 40) & 0xFFFF));
     }
     p
@@ -236,10 +240,19 @@ pub fn by_name(name: &str) -> Option<Program> {
 
 /// Every catalog program (default sizes), for sweeps.
 pub fn catalog() -> Vec<Program> {
-    ["count", "fib", "matmul", "pointer_chase", "branchy", "memcpy", "dotprod", "sort"]
-        .iter()
-        .map(|n| by_name(n).expect("catalog name"))
-        .collect()
+    [
+        "count",
+        "fib",
+        "matmul",
+        "pointer_chase",
+        "branchy",
+        "memcpy",
+        "dotprod",
+        "sort",
+    ]
+    .iter()
+    .map(|n| by_name(n).expect("catalog name"))
+    .collect()
 }
 
 #[cfg(test)]

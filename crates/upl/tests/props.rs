@@ -14,13 +14,42 @@ use std::sync::Arc;
 /// be strictly forward, so every program terminates).
 #[derive(Clone, Debug)]
 enum Slot {
-    Alu { op: u8, rd: u8, rs1: u8, rs2: u8 },
-    AluI { op: u8, rd: u8, rs1: u8, imm: i16 },
-    Li { rd: u8, imm: i16 },
-    Ld { rd: u8, rs1: u8, off: u8 },
-    St { rs2: u8, rs1: u8, off: u8 },
-    Br { cond: u8, rs1: u8, rs2: u8, skip: u8 },
-    Jal { rd: u8, skip: u8 },
+    Alu {
+        op: u8,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    AluI {
+        op: u8,
+        rd: u8,
+        rs1: u8,
+        imm: i16,
+    },
+    Li {
+        rd: u8,
+        imm: i16,
+    },
+    Ld {
+        rd: u8,
+        rs1: u8,
+        off: u8,
+    },
+    St {
+        rs2: u8,
+        rs1: u8,
+        off: u8,
+    },
+    Br {
+        cond: u8,
+        rs1: u8,
+        rs2: u8,
+        skip: u8,
+    },
+    Jal {
+        rd: u8,
+        skip: u8,
+    },
     Nop,
 }
 
@@ -118,17 +147,24 @@ fn slot_strategy() -> impl Strategy<Value = Slot> {
         (any::<u8>(), any::<u8>(), any::<u8>(), any::<i16>())
             .prop_map(|(op, rd, rs1, imm)| Slot::AluI { op, rd, rs1, imm }),
         (any::<u8>(), any::<i16>()).prop_map(|(rd, imm)| Slot::Li { rd, imm }),
-        (any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(rd, rs1, off)| Slot::Ld { rd, rs1, off }),
-        (any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(rs2, rs1, off)| Slot::St { rs2, rs1, off }),
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(cond, rs1, rs2, skip)| Slot::Br {
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(rd, rs1, off)| Slot::Ld {
+            rd,
+            rs1,
+            off
+        }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(rs2, rs1, off)| Slot::St {
+            rs2,
+            rs1,
+            off
+        }),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(cond, rs1, rs2, skip)| {
+            Slot::Br {
                 cond,
                 rs1,
                 rs2,
-                skip
-            }),
+                skip,
+            }
+        }),
         (any::<u8>(), any::<u8>()).prop_map(|(rd, skip)| Slot::Jal { rd, skip }),
         Just(Slot::Nop),
     ]

@@ -10,7 +10,11 @@ use liberty_pcl::{sink, source};
 use liberty_upl::cache::cache;
 
 /// requests -> L1 [-> L2] -> DRAM; returns responses plus hit counters.
-fn run_hierarchy(levels: usize, script: Vec<Value>, cycles: u64) -> (Vec<MemResp>, Vec<(u64, u64)>) {
+fn run_hierarchy(
+    levels: usize,
+    script: Vec<Value>,
+    cycles: u64,
+) -> (Vec<MemResp>, Vec<(u64, u64)>) {
     let mut b = NetlistBuilder::new();
     let (s_spec, s_mod) = source::script(script);
     let s = b.add("cpu", s_spec, s_mod).unwrap();
@@ -35,7 +39,8 @@ fn run_hierarchy(levels: usize, script: Vec<Value>, cycles: u64) -> (Vec<MemResp
         cache_ids.push(c);
         up = (c, "mreq", "mresp");
     }
-    let (m_spec, m_mod) = mem_array(&Params::new().with("words", 512i64).with("latency", 8i64)).unwrap();
+    let (m_spec, m_mod) =
+        mem_array(&Params::new().with("words", 512i64).with("latency", 8i64)).unwrap();
     let m = b.add("dram", m_spec, m_mod).unwrap();
     b.connect(up.0, "mreq", m, "req").unwrap();
     b.connect(m, "resp", up.0, "mresp").unwrap();

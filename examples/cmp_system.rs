@@ -11,7 +11,10 @@ use liberty_core::prelude::*;
 use liberty_systems::cmp::{cmp_simulator, CmpConfig};
 
 fn main() -> Result<(), SimError> {
-    let cores: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let cores: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     let cfg = CmpConfig {
         cores,
         items: 16,

@@ -14,7 +14,9 @@ use liberty_systems::full_registry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
-    let path = args.next().unwrap_or_else(|| "specs/pipeline.lss".to_owned());
+    let path = args
+        .next()
+        .unwrap_or_else(|| "specs/pipeline.lss".to_owned());
     let cycles: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
 
     let src = std::fs::read_to_string(&path)?;
@@ -38,7 +40,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {key} = {v}");
     }
     for (key, s) in &rep.samples {
-        println!("  {key}: mean {:.2} (min {:.0}, max {:.0}, n {})", s.mean(), s.min, s.max, s.n);
+        println!(
+            "  {key}: mean {:.2} (min {:.0}, max {:.0}, n {})",
+            s.mean(),
+            s.min,
+            s.max,
+            s.n
+        );
     }
     Ok(())
 }

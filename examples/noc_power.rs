@@ -37,8 +37,14 @@ fn build(w: u32, h: u32, rate: f64) -> Simulator {
 }
 
 fn main() -> Result<(), SimError> {
-    let w: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let h: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let w: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let h: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     println!("{w}x{h} mesh, uniform random traffic, 3000 cycles per point\n");
     println!(
         "{:>6} {:>10} {:>9} {:>11} {:>11} {:>9} {:>8}",
@@ -54,7 +60,7 @@ fn main() -> Result<(), SimError> {
             .map(|s| s.mean())
             .unwrap_or(0.0);
         let p = analyze(
-            &sim.instance_names(),
+            &sim.instance_names().collect::<Vec<_>>(),
             &sim.report(),
             sim.now(),
             4.0,

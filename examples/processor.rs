@@ -16,10 +16,11 @@ use std::sync::Arc;
 
 fn main() -> Result<(), SimError> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "branchy".into());
-    let prog = Arc::new(
-        program::by_name(&name)
-            .unwrap_or_else(|| panic!("unknown program {name:?}; try: count fib matmul pointer_chase branchy memcpy dotprod")),
-    );
+    let prog = Arc::new(program::by_name(&name).unwrap_or_else(|| {
+        panic!(
+            "unknown program {name:?}; try: count fib matmul pointer_chase branchy memcpy dotprod"
+        )
+    }));
 
     // Golden reference.
     let mut emu = Machine::new(&prog);
@@ -71,7 +72,10 @@ fn main() -> Result<(), SimError> {
         ),
     ];
 
-    println!("{:<30} {:>9} {:>7} {:>11} {:>9}", "stage", "cycles", "IPC", "mispredicts", "D$ hit%");
+    println!(
+        "{:<30} {:>9} {:>7} {:>11} {:>9}",
+        "stage", "cycles", "IPC", "mispredicts", "D$ hit%"
+    );
     for (name, cfg) in stages {
         let (mut sim, handles) = core_simulator(prog.clone(), &cfg, SchedKind::Static)?;
         let cycles = run_to_halt(&mut sim, &handles, 10_000_000)?;

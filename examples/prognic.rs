@@ -74,7 +74,10 @@ fn main() -> Result<(), SimError> {
     let cycles = sim.run_until(60_000, |st| st.counter(dev, "dmas_completed") >= n)?;
 
     println!("programmable NIC serviced {n} frames in {cycles} cycles\n");
-    println!("firmware instructions retired: {}", sim.stats().counter(nic.core.ids.decode, "retired"));
+    println!(
+        "firmware instructions retired: {}",
+        sim.stats().counter(nic.core.ids.decode, "retired")
+    );
     println!("PCI bursts: {}", sim.stats().counter(pci, "grants"));
     println!("captured trace entries: {}\n", trace.lock().len());
     let host = host_mem.lock();

@@ -51,8 +51,14 @@ fn main() -> Result<(), SimError> {
     println!("sink b received : {}", sim.stats().counter(b, "received"));
     println!(
         "queue occupancy : mean {:.2}, max {}",
-        sim.stats().get_sample(q, "occupancy").map(|s| s.mean()).unwrap_or(0.0),
-        sim.stats().get_sample(q, "occupancy").map(|s| s.max).unwrap_or(0.0),
+        sim.stats()
+            .get_sample(q, "occupancy")
+            .map(|s| s.mean())
+            .unwrap_or(0.0),
+        sim.stats()
+            .get_sample(q, "occupancy")
+            .map(|s| s.max)
+            .unwrap_or(0.0),
     );
     assert_eq!(sim.stats().counter(a, "received"), 12);
     assert_eq!(sim.stats().counter(b, "received"), 12);

@@ -11,7 +11,10 @@ use liberty_systems::programs;
 use liberty_systems::sensor::{sensor_simulator, SensorConfig};
 
 fn main() -> Result<(), SimError> {
-    let nodes: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let nodes: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
     let cfg = SensorConfig {
         nodes,
         samples: 8,
@@ -21,7 +24,9 @@ fn main() -> Result<(), SimError> {
     let (mut sim, net) = sensor_simulator(&cfg, SchedKind::Static)?;
     let base = net.base.expect("base station");
     println!("{nodes} sensor nodes, one shared wireless channel, base at station 0\n");
-    let cycles = sim.run_until(500_000, |st| st.counter(base, "received") >= u64::from(nodes))?;
+    let cycles = sim.run_until(500_000, |st| {
+        st.counter(base, "received") >= u64::from(nodes)
+    })?;
     println!(
         "base received {}/{} reduced samples in {cycles} cycles",
         sim.stats().counter(base, "received"),

@@ -28,15 +28,29 @@ fn e11_three_way_architectural_equivalence() {
         mono.run(20_000_000).unwrap();
         assert_eq!(mono.regs(), &emu.regs, "{}: mono regs", prog.name);
         assert_eq!(mono.mem(), &emu.mem[..], "{}: mono mem", prog.name);
-        assert_eq!(mono.stats().retired, emu.retired, "{}: mono retired", prog.name);
+        assert_eq!(
+            mono.stats().retired,
+            emu.retired,
+            "{}: mono retired",
+            prog.name
+        );
 
         // Structural LSE core.
         let arc = Arc::new(prog.clone());
         let (mut sim, handles) =
             core_simulator(arc, &CoreConfig::default(), SchedKind::Static).unwrap();
         run_to_halt(&mut sim, &handles, 5_000_000).unwrap();
-        assert!(handles.arch.is_halted(), "{}: structural did not halt", prog.name);
-        assert_eq!(&*handles.arch.regs.lock(), &emu.regs, "{}: structural regs", prog.name);
+        assert!(
+            handles.arch.is_halted(),
+            "{}: structural did not halt",
+            prog.name
+        );
+        assert_eq!(
+            &*handles.arch.regs.lock(),
+            &emu.regs,
+            "{}: structural regs",
+            prog.name
+        );
         assert_eq!(
             &*handles.mem.as_ref().unwrap().lock(),
             &emu.mem,

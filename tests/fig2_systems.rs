@@ -58,7 +58,8 @@ fn e2_cmp_with_tso_ordering_still_correct() {
     sim.run_until(80_000, |_| cmp.done()).unwrap();
     assert!(cmp.done());
     sim.run(64).unwrap();
-    cmp.check_results().expect("TSO keeps producer/consumer correct");
+    cmp.check_results()
+        .expect("TSO keeps producer/consumer correct");
 }
 
 #[test]
@@ -83,8 +84,8 @@ fn e3_sensor_network_delivers_all_samples() {
     let delivered = sim.stats().counter(net.air, "delivered");
     assert_eq!(delivered, 3);
     let _ = collisions; // may be zero if sends are skewed in time
-    // The DSP cores computed the right reduction (checked via the radio
-    // payload at the base: latency samples exist).
+                        // The DSP cores computed the right reduction (checked via the radio
+                        // payload at the base: latency samples exist).
     assert!(sim.stats().get_sample(base, "latency").is_some());
 }
 
@@ -120,8 +121,10 @@ fn e5_system_of_systems_end_to_end() {
         mesh_h: 2,
     };
     let (mut sim, sos) = sos_simulator(&cfg, SchedKind::Static).unwrap();
-    sim.run_until(80_000, |st| st.counter(sos.camp_dma, "packets_received") >= 3)
-        .unwrap();
+    sim.run_until(80_000, |st| {
+        st.counter(sos.camp_dma, "packets_received") >= 3
+    })
+    .unwrap();
     sim.run(128).unwrap();
     assert_eq!(sim.stats().counter(sos.chunkify, "chunkified"), 3);
     // Every sensor's reduced sample landed in base-camp memory with the

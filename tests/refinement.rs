@@ -192,7 +192,10 @@ fn e1_lss_text_to_running_cmp_like_system() {
     assert!(sim.stats().counter(d1, "retired") > 50);
     assert!(sim.stats().counter(d0, "halted") == 1);
     let queue_uses = report.template_uses.get("queue").copied().unwrap_or(0);
-    assert!(queue_uses >= 8 + 45, "queue instantiated {queue_uses} times");
+    assert!(
+        queue_uses >= 8 + 45,
+        "queue instantiated {queue_uses} times"
+    );
     let received: u64 = (0..9)
         .map(|i| {
             let id = sim.instance_by_name(&format!("noc.sink{i}")).unwrap();
@@ -217,9 +220,8 @@ fn shipped_spec_files_elaborate_and_run() {
             400,
         ),
     ] {
-        let (mut sim, rep) =
-            build_simulator(src, &reg, "main", &Params::new(), SchedKind::Static)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (mut sim, rep) = build_simulator(src, &reg, "main", &Params::new(), SchedKind::Static)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(rep.leaf_instances > 0, "{name}");
         sim.run(cycles).unwrap();
     }
@@ -252,7 +254,9 @@ fn refinement_spec_variants_all_work() {
             src,
             &reg,
             "main",
-            &Params::new().with("buffered", buffered).with("fanout", fanout),
+            &Params::new()
+                .with("buffered", buffered)
+                .with("fanout", fanout),
             SchedKind::Static,
         )
         .unwrap();

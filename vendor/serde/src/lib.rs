@@ -1,0 +1,37 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The workspace only *tags* types as serializable (no wire format is ever
+//! produced — reports are rendered to markdown by `liberty-bench`), so the
+//! traits are markers and the derives are no-ops. Swapping the real serde
+//! back in requires no source changes in the workspace.
+
+/// Marker for types whose values can be serialized.
+pub trait Serialize {}
+
+/// Marker for types whose values can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+impl_markers!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+}

@@ -1,0 +1,67 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! The stand-in's traits are markers, so the derive only has to name the
+//! type. Supports plain (non-generic) structs and enums, which covers
+//! every derived type in this workspace; a generic type fails to compile
+//! here rather than silently misbehaving.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the type name: the identifier following the `struct`/`enum`
+/// keyword, skipping attributes and visibility.
+fn type_name(input: &TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return s;
+                }
+                if s == "struct" || s == "enum" {
+                    saw_kw = true;
+                }
+            }
+            _ => continue,
+        }
+    }
+    panic!("serde stub derive: no struct/enum name found");
+}
+
+fn assert_not_generic(input: &TokenStream, name: &str) {
+    // A `<` immediately after the type name means generics, which the
+    // stub derive does not support.
+    let mut prev_was_name = false;
+    for tt in input.clone() {
+        match tt {
+            TokenTree::Ident(id) => prev_was_name = id.to_string() == name,
+            TokenTree::Punct(p) => {
+                if prev_was_name && p.as_char() == '<' {
+                    panic!("serde stub derive: generic type {name} unsupported");
+                }
+                prev_was_name = false;
+            }
+            _ => prev_was_name = false,
+        }
+    }
+}
+
+/// Derive the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    assert_not_generic(&input, &name);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serde stub derive: emit Serialize impl")
+}
+
+/// Derive the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    assert_not_generic(&input, &name);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde stub derive: emit Deserialize impl")
+}
