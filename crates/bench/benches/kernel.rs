@@ -1,18 +1,38 @@
 //! Kernel throughput: simulated time-steps per host second on three
 //! representative netlists (8x8 mesh under uniform traffic, the E2 CMP,
-//! the E8 stage-4 core), for the dynamic and static schedulers.
+//! the E8 stage-4 core), for the dynamic and static schedulers — followed
+//! by the probe-overhead section: the same workloads with each observer
+//! attached, proving the probe-off path pays nothing for observability.
 //!
-//! Prints a markdown table so `regen_experiments.sh` can capture the
+//! Prints markdown tables so `regen_experiments.sh` can capture the
 //! numbers; the same workloads feed the report binary's kernel section.
+//!
+//! Flags (after `--`):
+//!
+//! ```text
+//! --smoke                  quick 200-cycle iterations — the CI guard
+//! --cycles N               override measured cycles per run
+//! --best-of N              keep the best of N runs per cell (default 3;
+//!                          the experiment tables use 5)
+//! --baseline PATH          compare probe-off steps/sec against a recorded
+//!                          baseline TSV; exit 1 on regression
+//! --tolerance PCT          allowed regression vs baseline (default 5)
+//! --write-baseline PATH    record this run's probe-off numbers as the new
+//!                          baseline TSV
+//! ```
+//!
+//! Throughput cells keep the best of N runs: the minimum host time is the
+//! least-interfered measurement, which is what a regression guard must
+//! compare on a shared machine.
 
-use liberty_bench::kernel::run_all;
+use liberty_bench::kernel::{run_workload_probed, KernelRun, ProbeMode, WORKLOADS};
 use liberty_bench::table;
+use liberty_core::prelude::SchedKind;
+use std::collections::BTreeMap;
+use std::io::Write;
 
-fn main() {
-    let cycles = 2000;
-    let runs = run_all(cycles);
-    let rows: Vec<Vec<String>> = runs
-        .iter()
+fn throughput_rows(runs: &[KernelRun]) -> Vec<Vec<String>> {
+    runs.iter()
         .map(|r| {
             vec![
                 r.workload.to_string(),
@@ -22,12 +42,171 @@ fn main() {
                 format!("{:.0}", r.steps_per_sec()),
             ]
         })
-        .collect();
+        .collect()
+}
+
+fn baseline_key(r: &KernelRun) -> String {
+    format!("{}\t{:?}", r.workload, r.sched)
+}
+
+/// Cargo runs benches with the package directory as cwd; resolve relative
+/// baseline paths against the workspace root so
+/// `--baseline ci/kernel_baseline.tsv` works from either.
+fn resolve(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() || p.exists() {
+        p.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
+}
+
+/// Best (least-interfered) of `n` measurements.
+fn best_of(
+    n: u32,
+    workload: &'static str,
+    sched: SchedKind,
+    cycles: u64,
+    mode: ProbeMode,
+) -> KernelRun {
+    (0..n.max(1))
+        .map(|_| run_workload_probed(workload, sched, cycles, mode))
+        .min_by(|a, b| a.secs.total_cmp(&b.secs))
+        .expect("n >= 1")
+}
+
+fn main() {
+    let mut cycles: u64 = 2000;
+    let mut best: u32 = 3;
+    let mut baseline: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
+    let mut tolerance: f64 = 5.0;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => cycles = 200,
+            "--cycles" => {
+                cycles = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cycles N")
+            }
+            "--best-of" => {
+                best = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--best-of N")
+            }
+            "--baseline" => baseline = Some(args.next().expect("--baseline PATH")),
+            "--write-baseline" => {
+                write_baseline = Some(args.next().expect("--write-baseline PATH"))
+            }
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance PCT")
+            }
+            // Ignore the harness arguments `cargo bench` forwards.
+            _ => {}
+        }
+    }
+
+    // --- Throughput (probe off) ---
+    let mut off_runs = Vec::new();
+    for &w in WORKLOADS {
+        for sched in [SchedKind::Dynamic, SchedKind::Static] {
+            off_runs.push(best_of(best, w, sched, cycles, ProbeMode::Off));
+        }
+    }
     println!(
         "{}",
         table(
             &["workload", "scheduler", "cycles", "host ms", "steps/sec"],
+            &throughput_rows(&off_runs)
+        )
+    );
+
+    // --- Probe overhead: each observer vs the probe-off path ---
+    let mut rows = Vec::new();
+    for &w in WORKLOADS {
+        let off = off_runs
+            .iter()
+            .find(|r| r.workload == w && r.sched == SchedKind::Static)
+            .expect("off run measured");
+        let mut row = vec![w.to_string(), format!("{:.0}", off.steps_per_sec())];
+        for &mode in &ProbeMode::ALL[1..] {
+            let r = best_of(best, w, SchedKind::Static, cycles, mode);
+            row.push(format!(
+                "{:.0} ({:.2}x)",
+                r.steps_per_sec(),
+                off.steps_per_sec() / r.steps_per_sec()
+            ));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "workload (Static)",
+                "off steps/s",
+                "counting (slowdown)",
+                "profiler (slowdown)",
+                "vcd (slowdown)",
+            ],
             &rows
         )
     );
+
+    // --- Baseline guard ---
+    if let Some(path) = write_baseline {
+        let mut f = std::fs::File::create(resolve(&path)).expect("create baseline file");
+        writeln!(
+            f,
+            "# workload\tscheduler\tsteps_per_sec (probe off, {cycles} cycles)"
+        )
+        .unwrap();
+        for r in &off_runs {
+            writeln!(f, "{}\t{:.0}", baseline_key(r), r.steps_per_sec()).unwrap();
+        }
+        println!("baseline written to {path}");
+    }
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(resolve(&path)).expect("read baseline file");
+        let recorded: BTreeMap<String, f64> = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+            .map(|l| {
+                let (key, v) = l.rsplit_once('\t').expect("key\\tvalue");
+                (key.to_string(), v.parse().expect("numeric baseline"))
+            })
+            .collect();
+        let mut failed = false;
+        for r in &off_runs {
+            let key = baseline_key(r);
+            let Some(&base) = recorded.get(&key) else {
+                println!("baseline: no entry for {key:?}, skipping");
+                continue;
+            };
+            let now = r.steps_per_sec();
+            let delta = 100.0 * (now - base) / base;
+            let verdict = if delta < -tolerance {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!("baseline: {key}  {base:.0} -> {now:.0} steps/s ({delta:+.1}%) {verdict}");
+        }
+        if failed {
+            eprintln!(
+                "probe-off throughput regressed more than {tolerance}% vs {path}; \
+                 if the host changed, regenerate with --write-baseline"
+            );
+            std::process::exit(1);
+        }
+    }
 }

@@ -101,9 +101,66 @@ pub fn build(workload: &str, sched: SchedKind) -> Simulator {
     }
 }
 
-/// Run one workload for `cycles` steps and measure host time.
-pub fn run_workload(workload: &'static str, sched: SchedKind, cycles: u64) -> KernelRun {
+/// Which observer (if any) a measured run carries — the x-axis of the
+/// probe-overhead experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeMode {
+    /// No probe attached: the const-generic probe-off fast path.
+    Off,
+    /// The cheapest real probe (event counters behind a mutex).
+    Counting,
+    /// The per-instance wall-clock profiler.
+    Profile,
+    /// Full VCD waveform emission, written to `std::io::sink()` so the
+    /// measurement is serialization cost, not disk bandwidth.
+    Vcd,
+}
+
+impl ProbeMode {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProbeMode::Off => "off",
+            ProbeMode::Counting => "counting",
+            ProbeMode::Profile => "profiler",
+            ProbeMode::Vcd => "vcd",
+        }
+    }
+
+    /// All modes, report order.
+    pub const ALL: &'static [ProbeMode] = &[
+        ProbeMode::Off,
+        ProbeMode::Counting,
+        ProbeMode::Profile,
+        ProbeMode::Vcd,
+    ];
+
+    fn install(self, sim: &mut Simulator) {
+        match self {
+            ProbeMode::Off => {}
+            ProbeMode::Counting => {
+                let (p, _h) = CountingProbe::new();
+                sim.set_probe(Box::new(p));
+            }
+            ProbeMode::Profile => {
+                let (p, _h) = Profiler::new();
+                sim.set_probe(Box::new(p));
+            }
+            ProbeMode::Vcd => sim.set_probe(Box::new(VcdProbe::new(std::io::sink()))),
+        }
+    }
+}
+
+/// Run one workload for `cycles` steps under a probe mode, measuring host
+/// time (construction and warm-up excluded).
+pub fn run_workload_probed(
+    workload: &'static str,
+    sched: SchedKind,
+    cycles: u64,
+    mode: ProbeMode,
+) -> KernelRun {
     let mut sim = build(workload, sched);
+    mode.install(&mut sim);
     // Warm-up settles allocator and cache effects out of the measurement.
     sim.run(cycles / 10).unwrap();
     let (_, secs) = timed(|| sim.run(cycles).unwrap());
@@ -113,6 +170,11 @@ pub fn run_workload(workload: &'static str, sched: SchedKind, cycles: u64) -> Ke
         cycles,
         secs,
     }
+}
+
+/// Run one workload with no probe attached.
+pub fn run_workload(workload: &'static str, sched: SchedKind, cycles: u64) -> KernelRun {
+    run_workload_probed(workload, sched, cycles, ProbeMode::Off)
 }
 
 /// Measure every workload with the dynamic and static schedulers.

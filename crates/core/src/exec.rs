@@ -30,6 +30,7 @@
 use crate::error::SimError;
 use crate::module::{Dir, Module, PortId};
 use crate::netlist::{EdgeId, InstanceId, Netlist};
+use crate::probe::{Probe, ResolvedBy, TracerProbe};
 use crate::sched::RankQueue;
 use crate::signal::{Res, SignalState, Wire, WriteOutcome};
 use crate::stats::{Stats, StatsReport};
@@ -38,6 +39,8 @@ use crate::topology::{InstanceInfo, Topology};
 use crate::value::Value;
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+pub use crate::probe::Tracer;
 
 /// Which reaction-phase scheduler to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,12 +68,6 @@ pub struct EngineMetrics {
     pub defaults: u64,
 }
 
-/// Observer of completed transfers, for tracing/visualization.
-pub trait Tracer: Send {
-    /// Called once per completed transfer at the end of each time-step.
-    fn transfer(&mut self, now: u64, src: &str, dst: &str, value: &Value);
-}
-
 /// Reusable worklist storage shared by the reaction and default phases.
 /// Only the variant matching the scheduler is populated.
 #[derive(Default)]
@@ -90,7 +87,7 @@ pub struct Simulator {
     sched: SchedKind,
     work: WorkState,
     metrics: EngineMetrics,
-    tracer: Option<Box<dyn Tracer>>,
+    probe: Option<Box<dyn Probe>>,
     wake_buf: Vec<(EdgeId, Wire)>,
     /// Scratch per-instance activity flags for the commit phase; cleared
     /// proportionally to the transfer list, never swept.
@@ -142,7 +139,7 @@ impl Simulator {
             sched,
             work,
             metrics: EngineMetrics::default(),
-            tracer: None,
+            probe: None,
             wake_buf: Vec::new(),
             active: vec![false; n],
             transfer_counts: vec![0; n_edges],
@@ -155,9 +152,24 @@ impl Simulator {
         &self.topo
     }
 
-    /// Attach a transfer tracer.
+    /// Attach a transfer tracer (compat path: the tracer is lifted into a
+    /// [`Probe`] observing only `transfer` events).
     pub fn set_tracer(&mut self, t: Box<dyn Tracer>) {
-        self.tracer = Some(t);
+        self.set_probe(Box::new(TracerProbe::new(t)));
+    }
+
+    /// Attach a probe observing the full kernel event stream. The probe's
+    /// [`Probe::attach`] hook runs immediately (VCD sinks emit their
+    /// header there); any previously attached probe is replaced.
+    pub fn set_probe(&mut self, mut p: Box<dyn Probe>) {
+        p.attach(&self.topo);
+        self.probe = Some(p);
+    }
+
+    /// Detach and return the current probe, if any (sinks that buffer —
+    /// e.g. the VCD writer — flush on drop).
+    pub fn take_probe(&mut self) -> Option<Box<dyn Probe>> {
+        self.probe.take()
     }
 
     /// Current time-step number (cycles completed).
@@ -240,10 +252,16 @@ impl Simulator {
 
     /// Execute one complete time-step.
     pub fn step(&mut self) -> Result<(), SimError> {
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.step_begin(self.now);
+        }
         self.store.begin_step(); // O(1): epoch bump, no per-edge sweep
         self.reaction_phase()?;
         self.default_phase()?;
         self.commit_phase()?;
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.step_end(self.now);
+        }
         self.metrics.steps += 1;
         self.now += 1;
         Ok(())
@@ -301,8 +319,19 @@ impl Simulator {
     }
 
     /// Drain the worklist to quiescence, waking CSR readers of each newly
-    /// resolved wire. All three schedulers flow through here.
+    /// resolved wire. All three schedulers flow through here. The probe
+    /// check is hoisted out of the hot loop: the loop body is
+    /// monomorphized on probe presence, so the probe-off path contains no
+    /// per-invocation probe code at all.
     fn drain(&mut self, work: &mut WorkState) -> Result<(), SimError> {
+        if self.probe.is_some() {
+            self.drain_impl::<true>(work)
+        } else {
+            self.drain_impl::<false>(work)
+        }
+    }
+
+    fn drain_impl<const PROBED: bool>(&mut self, work: &mut WorkState) -> Result<(), SimError> {
         let Simulator {
             topo,
             modules,
@@ -311,17 +340,23 @@ impl Simulator {
             now,
             sched,
             metrics,
+            probe,
             wake_buf,
             ..
         } = self;
         let topo: &Topology = topo;
+        let mut probe: Option<&mut (dyn Probe + 'static)> =
+            if PROBED { probe.as_deref_mut() } else { None };
+        let probe = &mut probe;
         let mut newly = std::mem::take(wake_buf);
         let result = (|| match sched {
             SchedKind::Sweep => loop {
                 let mut progressed = false;
                 for i in 0..topo.instance_count() {
                     newly.clear();
-                    react_one(topo, modules, store, stats, metrics, *now, i, &mut newly)?;
+                    react_one::<PROBED>(
+                        topo, modules, store, stats, metrics, *now, i, &mut newly, probe,
+                    )?;
                     if !newly.is_empty() {
                         progressed = true;
                     }
@@ -334,8 +369,8 @@ impl Simulator {
                 while let Some(i) = work.fifo.pop_front() {
                     work.queued[i as usize] = false;
                     newly.clear();
-                    react_one(
-                        topo, modules, store, stats, metrics, *now, i as usize, &mut newly,
+                    react_one::<PROBED>(
+                        topo, modules, store, stats, metrics, *now, i as usize, &mut newly, probe,
                     )?;
                     for (e, wire) in newly.drain(..) {
                         for &t in topo.readers(wire, e) {
@@ -352,8 +387,8 @@ impl Simulator {
                 let q = work.ranked.as_mut().expect("static rank queue");
                 while let Some(i) = q.pop() {
                     newly.clear();
-                    react_one(
-                        topo, modules, store, stats, metrics, *now, i as usize, &mut newly,
+                    react_one::<PROBED>(
+                        topo, modules, store, stats, metrics, *now, i as usize, &mut newly, probe,
                     )?;
                     for (e, wire) in newly.drain(..) {
                         for &t in topo.readers(wire, e) {
@@ -399,6 +434,9 @@ impl Simulator {
                 Wire::Ack
             };
             self.metrics.defaults += 1;
+            if let Some(p) = self.probe.as_deref_mut() {
+                emit_resolved(p, &self.store, self.now, e, wire, ResolvedBy::Default);
+            }
             // Reader lists here have length ≤ 1 (data/enable wake the one
             // receiver; ack wakes at most the one declared sender), so
             // re-borrowing per index costs nothing and avoids a Vec.
@@ -421,7 +459,7 @@ impl Simulator {
             stats,
             now,
             metrics,
-            tracer,
+            probe,
             active,
             transfer_counts,
             ..
@@ -438,16 +476,23 @@ impl Simulator {
                 continue;
             }
             metrics.commits += 1;
+            let inst = InstanceId(i as u32);
+            if let Some(p) = probe.as_deref_mut() {
+                p.commit_enter(*now, inst);
+            }
             let mut ctx = CommitCtx {
-                inst: InstanceId(i as u32),
-                info: topo.instance(InstanceId(i as u32)),
+                inst,
+                info: topo.instance(inst),
                 store,
                 stats,
                 now: *now,
             };
             module.commit(&mut ctx)?;
+            if let Some(p) = probe.as_deref_mut() {
+                p.commit_exit(*now, inst);
+            }
         }
-        if let Some(tracer) = tracer {
+        if let Some(p) = probe.as_deref_mut() {
             // Sort a copy by edge id so trace output is deterministic
             // across schedulers (the set is; the resolution order is not).
             let mut edges: Vec<EdgeId> = store.transfers().to_vec();
@@ -455,7 +500,7 @@ impl Simulator {
             for e in edges {
                 let em = topo.edge_meta(e);
                 let v = store.transferred(e).expect("recorded transfer");
-                tracer.transfer(*now, topo.name(em.src.inst), topo.name(em.dst.inst), v);
+                p.transfer(*now, e, topo.name(em.src.inst), topo.name(em.dst.inst), v);
             }
         }
         // Clear flags by walking the same transfer list: cost stays
@@ -471,8 +516,10 @@ impl Simulator {
 
 /// Invoke one instance's `react` handler with a context over the shared
 /// store (free function so callers can borrow disjoint simulator fields).
+/// Monomorphized on probe presence: with `PROBED = false` the probe
+/// branches compile away entirely.
 #[allow(clippy::too_many_arguments)]
-fn react_one(
+fn react_one<const PROBED: bool>(
     topo: &Topology,
     modules: &mut [Box<dyn Module>],
     store: &mut SignalStore,
@@ -481,17 +528,55 @@ fn react_one(
     now: u64,
     i: usize,
     newly: &mut Vec<(EdgeId, Wire)>,
+    probe: &mut Option<&mut (dyn Probe + 'static)>,
 ) -> Result<(), SimError> {
     metrics.reacts += 1;
-    let mut ctx = ReactCtx {
-        inst: InstanceId(i as u32),
-        info: topo.instance(InstanceId(i as u32)),
-        store,
-        stats,
-        newly,
-        now,
+    let inst = InstanceId(i as u32);
+    if PROBED {
+        if let Some(p) = probe.as_deref_mut() {
+            p.react_enter(now, inst);
+        }
+    }
+    let r = {
+        let mut ctx = ReactCtx {
+            inst,
+            info: topo.instance(inst),
+            store,
+            stats,
+            newly,
+            now,
+        };
+        modules[i].react(&mut ctx)
     };
-    modules[i].react(&mut ctx)
+    if PROBED {
+        if let Some(p) = probe.as_deref_mut() {
+            for &(e, wire) in newly.iter() {
+                emit_resolved(p, store, now, e, wire, ResolvedBy::Module(inst));
+            }
+            p.react_exit(now, inst);
+        }
+    }
+    r
+}
+
+/// Report one newly resolved wire to a probe, reading its final value
+/// from the store (data carries the payload; enable/ack just polarity).
+fn emit_resolved(
+    p: &mut dyn Probe,
+    store: &SignalStore,
+    now: u64,
+    e: EdgeId,
+    wire: Wire,
+    by: ResolvedBy,
+) {
+    match wire {
+        Wire::Data => {
+            let d = store.data(e);
+            p.signal_resolved(now, e, wire, d.is_yes(), d.as_yes(), by);
+        }
+        Wire::Enable => p.signal_resolved(now, e, wire, store.enable(e).is_yes(), None, by),
+        Wire::Ack => p.signal_resolved(now, e, wire, store.ack(e).is_yes(), None, by),
+    }
 }
 
 /// Context handed to [`Module::react`]: resolved-signal reads plus
@@ -652,6 +737,12 @@ impl<'a> ReactCtx<'a> {
     pub fn sample(&mut self, name: &'static str, v: f64) {
         self.stats.sample(self.inst, name, v);
     }
+
+    /// Record a value into one of this instance's log2-bucket histograms
+    /// (latency/occupancy distributions, not just min/mean/max).
+    pub fn histo(&mut self, name: &'static str, v: u64) {
+        self.stats.histo(self.inst, name, v);
+    }
 }
 
 /// Context handed to [`Module::commit`]: read-only access to the fully
@@ -733,6 +824,12 @@ impl<'a> CommitCtx<'a> {
     /// Record a sample on one of this instance's sampled stats.
     pub fn sample(&mut self, name: &'static str, v: f64) {
         self.stats.sample(self.inst, name, v);
+    }
+
+    /// Record a value into one of this instance's log2-bucket histograms
+    /// (latency/occupancy distributions, not just min/mean/max).
+    pub fn histo(&mut self, name: &'static str, v: u64) {
+        self.stats.histo(self.inst, name, v);
     }
 }
 

@@ -23,6 +23,9 @@
 //!   partial specifications, and the activity-gated commit phase);
 //! * [`sched`] — the static netlist analysis that accelerates the reaction
 //!   phase (paper ref [22]);
+//! * the observability layer — [`probe`] (the `Probe` event-stream trait
+//!   with zero cost when absent), [`trace`] (text + JSONL sinks),
+//!   [`vcd`] (GTKWave waveforms) and [`profile`] (per-module hot spots);
 //! * [`params`] / [`registry`] — algorithmic parameters and the template
 //!   registry the component libraries populate.
 //!
@@ -69,6 +72,8 @@ pub mod exec;
 pub mod module;
 pub mod netlist;
 pub mod params;
+pub mod probe;
+pub mod profile;
 pub mod registry;
 pub mod sched;
 pub mod signal;
@@ -77,6 +82,7 @@ pub mod store;
 pub mod topology;
 pub mod trace;
 pub mod value;
+pub mod vcd;
 
 /// Convenience re-exports for module and system authors.
 pub mod prelude {
@@ -85,11 +91,16 @@ pub mod prelude {
     pub use crate::module::{Dir, Module, ModuleSpec, PortId, PortSpec};
     pub use crate::netlist::{EdgeId, Endpoint, InstanceId, Netlist, NetlistBuilder};
     pub use crate::params::{ParamValue, Params};
+    pub use crate::probe::{
+        CountingProbe, MultiProbe, Probe, ProbeCounts, ProbeCountsHandle, ResolvedBy, TracerProbe,
+    };
+    pub use crate::profile::{ProfileHandle, ProfileProbe, ProfileReport, Profiler};
     pub use crate::registry::{Instantiated, Registry, Template};
     pub use crate::signal::{Res, SignalState, Wire, WriteOutcome};
-    pub use crate::stats::{Sample, Stats, StatsReport};
+    pub use crate::stats::{Histogram, Sample, Stats, StatsReport};
     pub use crate::store::SignalStore;
     pub use crate::topology::{InstanceInfo, Topology};
-    pub use crate::trace::{RecordingTracer, TextTracer, TraceEvent, TraceHandle};
+    pub use crate::trace::{JsonlProbe, RecordingTracer, TextTracer, TraceEvent, TraceHandle};
     pub use crate::value::Value;
+    pub use crate::vcd::VcdProbe;
 }

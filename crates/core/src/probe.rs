@@ -1,0 +1,339 @@
+//! The observability surface of the kernel: the [`Probe`] trait.
+//!
+//! The paper positions LSE as "an effective educational tool when
+//! integrated with an interactive system visualizer", and the fixed
+//! reactive MoC is what makes the netlist *analyzable*: every wire of
+//! every connection resolves exactly once per time-step, so the complete
+//! behaviour of a simulation is a well-defined event stream. A [`Probe`]
+//! taps that stream:
+//!
+//! * **step_begin / step_end** bracket each time-step;
+//! * **react_enter / react_exit** and **commit_enter / commit_exit**
+//!   bracket every handler invocation (the hooks a profiler needs);
+//! * **signal_resolved** fires once per wire per step, the moment the
+//!   data/enable/ack wire of a connection resolves — with the source
+//!   distinguishing a module's own write from the kernel's default
+//!   control semantics (paper §2.1);
+//! * **transfer** fires once per completed three-way handshake.
+//!
+//! All methods default to no-ops, so a probe implements only what it
+//! needs. Ready-made sinks live in [`crate::trace`] (text + JSONL),
+//! [`crate::vcd`] (GTKWave waveforms) and [`crate::profile`] (per-module
+//! hot-spot attribution).
+//!
+//! **Cost when absent.** The kernel specializes its reaction loop on
+//! probe presence at compile time (a const-generic dispatch hoisted out
+//! of the hot loop), so a simulator without a probe executes literally no
+//! probe code per handler invocation — see the probe-overhead table in
+//! `docs/OBSERVABILITY.md`.
+
+use crate::netlist::{EdgeId, InstanceId};
+use crate::signal::Wire;
+use crate::topology::Topology;
+use crate::value::Value;
+
+/// Who resolved a wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResolvedBy {
+    /// A module's `react` handler drove the wire.
+    Module(InstanceId),
+    /// The kernel's default control semantics resolved the wire after
+    /// reaction quiescence (paper §2.2: partial specifications execute).
+    Default,
+}
+
+/// Observer of the kernel's full event stream. Every method is a no-op by
+/// default; implement only the events you need.
+///
+/// Probes are attached with [`crate::exec::Simulator::set_probe`]; the
+/// kernel calls [`Probe::attach`] once so sinks can precompute per-edge
+/// state (the VCD writer emits its header there).
+#[allow(unused_variables)]
+pub trait Probe: Send {
+    /// Called once when the probe is installed on a simulator.
+    fn attach(&mut self, topo: &Topology) {}
+
+    /// A time-step is starting.
+    fn step_begin(&mut self, now: u64) {}
+
+    /// A time-step completed (all wires resolved, commits done).
+    fn step_end(&mut self, now: u64) {}
+
+    /// A `react` handler is about to run.
+    fn react_enter(&mut self, now: u64, inst: InstanceId) {}
+
+    /// A `react` handler returned.
+    fn react_exit(&mut self, now: u64, inst: InstanceId) {}
+
+    /// A `commit` handler is about to run.
+    fn commit_enter(&mut self, now: u64, inst: InstanceId) {}
+
+    /// A `commit` handler returned.
+    fn commit_exit(&mut self, now: u64, inst: InstanceId) {}
+
+    /// One wire of one connection resolved this step. `yes` is the
+    /// resolution polarity; `value` carries the payload for a data wire
+    /// resolving `Yes` (enable/ack and `No` resolutions pass `None`).
+    fn signal_resolved(
+        &mut self,
+        now: u64,
+        edge: EdgeId,
+        wire: Wire,
+        yes: bool,
+        value: Option<&Value>,
+        by: ResolvedBy,
+    ) {
+    }
+
+    /// A three-way handshake completed on `edge` this step (reported in
+    /// edge-id order at the end of the commit phase).
+    fn transfer(&mut self, now: u64, edge: EdgeId, src: &str, dst: &str, value: &Value) {}
+}
+
+/// Observer of completed transfers only — the original, narrow tracing
+/// interface. Kept for compatibility; internally every tracer is adapted
+/// into a [`Probe`] by [`TracerProbe`].
+pub trait Tracer: Send {
+    /// Called once per completed transfer at the end of each time-step.
+    fn transfer(&mut self, now: u64, src: &str, dst: &str, value: &Value);
+}
+
+/// Compat shim: lifts a [`Tracer`] into the [`Probe`] world (only the
+/// `transfer` event is forwarded).
+pub struct TracerProbe(Box<dyn Tracer>);
+
+impl TracerProbe {
+    /// Wrap a tracer.
+    pub fn new(t: Box<dyn Tracer>) -> Self {
+        TracerProbe(t)
+    }
+}
+
+impl Probe for TracerProbe {
+    fn transfer(&mut self, now: u64, _edge: EdgeId, src: &str, dst: &str, value: &Value) {
+        self.0.transfer(now, src, dst, value);
+    }
+}
+
+/// Fan-out probe: forwards every event to each attached probe in order,
+/// so `--trace --vcd --profile` can all observe one run.
+#[derive(Default)]
+pub struct MultiProbe {
+    probes: Vec<Box<dyn Probe>>,
+}
+
+impl MultiProbe {
+    /// Empty fan-out.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a probe to the fan-out.
+    pub fn push(&mut self, p: Box<dyn Probe>) {
+        self.probes.push(p);
+    }
+
+    /// Number of attached probes.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// True when no probes are attached.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// The sole probe, unwrapped, when exactly one is attached — lets
+    /// front ends skip the fan-out indirection for a single sink.
+    pub fn into_single(mut self) -> Result<Box<dyn Probe>, Self> {
+        if self.probes.len() == 1 {
+            Ok(self.probes.pop().expect("len checked"))
+        } else {
+            Err(self)
+        }
+    }
+}
+
+impl Probe for MultiProbe {
+    fn attach(&mut self, topo: &Topology) {
+        for p in &mut self.probes {
+            p.attach(topo);
+        }
+    }
+    fn step_begin(&mut self, now: u64) {
+        for p in &mut self.probes {
+            p.step_begin(now);
+        }
+    }
+    fn step_end(&mut self, now: u64) {
+        for p in &mut self.probes {
+            p.step_end(now);
+        }
+    }
+    fn react_enter(&mut self, now: u64, inst: InstanceId) {
+        for p in &mut self.probes {
+            p.react_enter(now, inst);
+        }
+    }
+    fn react_exit(&mut self, now: u64, inst: InstanceId) {
+        for p in &mut self.probes {
+            p.react_exit(now, inst);
+        }
+    }
+    fn commit_enter(&mut self, now: u64, inst: InstanceId) {
+        for p in &mut self.probes {
+            p.commit_enter(now, inst);
+        }
+    }
+    fn commit_exit(&mut self, now: u64, inst: InstanceId) {
+        for p in &mut self.probes {
+            p.commit_exit(now, inst);
+        }
+    }
+    fn signal_resolved(
+        &mut self,
+        now: u64,
+        edge: EdgeId,
+        wire: Wire,
+        yes: bool,
+        value: Option<&Value>,
+        by: ResolvedBy,
+    ) {
+        for p in &mut self.probes {
+            p.signal_resolved(now, edge, wire, yes, value, by);
+        }
+    }
+    fn transfer(&mut self, now: u64, edge: EdgeId, src: &str, dst: &str, value: &Value) {
+        for p in &mut self.probes {
+            p.transfer(now, edge, src, dst, value);
+        }
+    }
+}
+
+/// Event counters, shared through [`ProbeCountsHandle`]. The cheapest
+/// possible real sink — the benchmark's stand-in for "a probe is
+/// attached" when measuring observation overhead, and a convenient
+/// invariant check in tests (e.g. resolutions = 3 × edges × steps).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeCounts {
+    /// `step_begin` events seen.
+    pub steps: u64,
+    /// `react_enter` events seen.
+    pub reacts: u64,
+    /// `commit_enter` events seen.
+    pub commits: u64,
+    /// `signal_resolved` events seen.
+    pub resolutions: u64,
+    /// `signal_resolved` events attributed to the default semantics.
+    pub defaults: u64,
+    /// `transfer` events seen.
+    pub transfers: u64,
+}
+
+/// Counting probe; create with [`CountingProbe::new`].
+pub struct CountingProbe {
+    counts: std::sync::Arc<std::sync::Mutex<ProbeCounts>>,
+}
+
+/// Read handle for a [`CountingProbe`].
+#[derive(Clone)]
+pub struct ProbeCountsHandle {
+    counts: std::sync::Arc<std::sync::Mutex<ProbeCounts>>,
+}
+
+impl ProbeCountsHandle {
+    /// Snapshot of the counters.
+    pub fn get(&self) -> ProbeCounts {
+        *self.counts.lock().expect("probe counts lock")
+    }
+}
+
+impl CountingProbe {
+    /// Create the probe and its read handle.
+    pub fn new() -> (Self, ProbeCountsHandle) {
+        let counts = std::sync::Arc::new(std::sync::Mutex::new(ProbeCounts::default()));
+        (
+            CountingProbe {
+                counts: counts.clone(),
+            },
+            ProbeCountsHandle { counts },
+        )
+    }
+}
+
+impl Probe for CountingProbe {
+    fn step_begin(&mut self, _now: u64) {
+        self.counts.lock().expect("probe counts lock").steps += 1;
+    }
+    fn react_enter(&mut self, _now: u64, _inst: InstanceId) {
+        self.counts.lock().expect("probe counts lock").reacts += 1;
+    }
+    fn commit_enter(&mut self, _now: u64, _inst: InstanceId) {
+        self.counts.lock().expect("probe counts lock").commits += 1;
+    }
+    fn signal_resolved(
+        &mut self,
+        _now: u64,
+        _edge: EdgeId,
+        _wire: Wire,
+        _yes: bool,
+        _value: Option<&Value>,
+        by: ResolvedBy,
+    ) {
+        let mut c = self.counts.lock().expect("probe counts lock");
+        c.resolutions += 1;
+        if by == ResolvedBy::Default {
+            c.defaults += 1;
+        }
+    }
+    fn transfer(&mut self, _now: u64, _edge: EdgeId, _src: &str, _dst: &str, _value: &Value) {
+        self.counts.lock().expect("probe counts lock").transfers += 1;
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal (quotes,
+/// backslashes and control characters). Shared by the JSONL sink and the
+/// front ends' `--metrics-out` writer.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain.name[0]"), "plain.name[0]");
+    }
+
+    #[test]
+    fn multi_probe_single_unwraps() {
+        let mut m = MultiProbe::new();
+        assert!(m.is_empty());
+        let (c, _h) = CountingProbe::new();
+        m.push(Box::new(c));
+        assert_eq!(m.len(), 1);
+        assert!(m.into_single().is_ok());
+        let mut m2 = MultiProbe::new();
+        let (c1, _h1) = CountingProbe::new();
+        let (c2, _h2) = CountingProbe::new();
+        m2.push(Box::new(c1));
+        m2.push(Box::new(c2));
+        assert!(m2.into_single().is_err());
+    }
+}

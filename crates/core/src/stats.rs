@@ -1,8 +1,16 @@
 //! Statistics collection shared by all modules.
 //!
-//! Modules emit counters and samples through their contexts; the engine
-//! aggregates them per instance. Reports are serializable so the benchmark
-//! harness can regenerate the experiment tables from raw runs.
+//! Modules emit counters, samples and histogram records through their
+//! contexts; the engine aggregates them per instance. Reports are
+//! serializable so the benchmark harness can regenerate the experiment
+//! tables from raw runs.
+//!
+//! Storage is keyed **name-first** (`name -> instance -> value`): stat
+//! names are `&'static str`, so the hot increment path allocates nothing,
+//! point lookups ([`Stats::counter`], [`Stats::get_sample`]) are two O(1)
+//! hash gets, and the cross-instance totals ([`Stats::counter_total`],
+//! [`Stats::sample_total`]) reduce one inner map instead of scanning the
+//! whole store.
 
 use crate::netlist::InstanceId;
 use std::collections::BTreeMap;
@@ -38,6 +46,13 @@ impl Sample {
         self.max = self.max.max(v);
     }
 
+    fn merge(&mut self, other: &Sample) {
+        self.sum += other.sum;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Arithmetic mean of the samples (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.n == 0 {
@@ -48,14 +63,108 @@ impl Sample {
     }
 }
 
-/// Per-run statistics store, keyed by `(instance, stat name)`.
+/// A log2-bucket histogram of `u64` values: bucket `i` counts values with
+/// bit-width `i` (so bucket 0 is exactly the zeros, bucket `i ≥ 1` covers
+/// `[2^(i-1), 2^i - 1]`). Recording is O(1) and allocation-free once the
+/// bucket vector has grown to the largest bit-width seen.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        let b = (u64::BITS - v.leading_zeros()) as usize;
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Wrapping sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of recorded values (0 when empty; wraps for huge sums).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, n) in other.buckets.iter().enumerate() {
+            self.buckets[b] += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Occupied buckets as `(lo, hi, count)` ranges (inclusive bounds).
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets.iter().enumerate().filter_map(|(i, &n)| {
+            if n == 0 {
+                return None;
+            }
+            let (lo, hi) = Self::bounds(i);
+            Some((lo, hi, n))
+        })
+    }
+
+    /// Inclusive value range of bucket `i`.
+    fn bounds(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            _ => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Render an ASCII bucket table (one line per occupied bucket) —
+    /// the front ends' `--metrics-out`-adjacent human view.
+    pub fn render(&self) -> String {
+        let peak = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (lo, hi, n) in self.buckets() {
+            let bar = "#".repeat(((n * 40).div_ceil(peak)) as usize);
+            out.push_str(&format!("  [{lo:>12} .. {hi:>12}] {n:>10} {bar}\n"));
+        }
+        out
+    }
+}
+
+/// Per-run statistics store, keyed by stat name, then instance.
 ///
 /// Stat names are `&'static str` so the hot increment path does no
-/// allocation.
+/// allocation; lookups with runtime `&str` names still hash straight to
+/// the entry (`&'static str: Borrow<str>`).
 #[derive(Default, Debug)]
 pub struct Stats {
-    counters: HashMap<(u32, &'static str), u64>,
-    samples: HashMap<(u32, &'static str), Sample>,
+    counters: HashMap<&'static str, HashMap<u32, u64>>,
+    samples: HashMap<&'static str, HashMap<u32, Sample>>,
+    histograms: HashMap<&'static str, HashMap<u32, Histogram>>,
 }
 
 impl Stats {
@@ -67,59 +176,87 @@ impl Stats {
     /// Add `by` to a counter of an instance. Wrapping, so counters can be
     /// used as order-independent checksums of arbitrary word streams.
     pub fn count(&mut self, inst: InstanceId, name: &'static str, by: u64) {
-        let c = self.counters.entry((inst.0, name)).or_insert(0);
+        let c = self
+            .counters
+            .entry(name)
+            .or_default()
+            .entry(inst.0)
+            .or_insert(0);
         *c = c.wrapping_add(by);
     }
 
     /// Record one sample of a quantity of an instance.
     pub fn sample(&mut self, inst: InstanceId, name: &'static str, v: f64) {
         self.samples
-            .entry((inst.0, name))
+            .entry(name)
+            .or_default()
+            .entry(inst.0)
             .and_modify(|s| s.add(v))
             .or_insert_with(|| Sample::new(v));
     }
 
-    /// Current value of a counter (0 if never touched).
+    /// Record one value into a log2-bucket histogram of an instance.
+    pub fn histo(&mut self, inst: InstanceId, name: &'static str, v: u64) {
+        self.histograms
+            .entry(name)
+            .or_default()
+            .entry(inst.0)
+            .or_default()
+            .record(v);
+    }
+
+    /// Current value of a counter (0 if never touched). O(1): two hash
+    /// gets, no scan.
     pub fn counter(&self, inst: InstanceId, name: &str) -> u64 {
         self.counters
-            .iter()
-            .find(|((i, n), _)| *i == inst.0 && *n == name)
-            .map(|(_, v)| *v)
+            .get(name)
+            .and_then(|m| m.get(&inst.0))
+            .copied()
             .unwrap_or(0)
     }
 
-    /// Current aggregate of a sampled quantity, if any samples were taken.
+    /// Current aggregate of a sampled quantity, if any samples were
+    /// taken. O(1): two hash gets, no scan.
     pub fn get_sample(&self, inst: InstanceId, name: &str) -> Option<Sample> {
-        self.samples
-            .iter()
-            .find(|((i, n), _)| *i == inst.0 && *n == name)
-            .map(|(_, v)| *v)
+        self.samples.get(name).and_then(|m| m.get(&inst.0)).copied()
+    }
+
+    /// An instance's histogram of a stat, if any values were recorded.
+    pub fn histogram(&self, inst: InstanceId, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name).and_then(|m| m.get(&inst.0))
     }
 
     /// Sum of a counter across all instances (e.g. total retired
-    /// instructions over every core).
+    /// instructions over every core). The name-first keying makes this a
+    /// single inner-map reduction, not a full-store scan.
     pub fn counter_total(&self, name: &str) -> u64 {
         self.counters
-            .iter()
-            .filter(|((_, n), _)| *n == name)
-            .map(|(_, v)| *v)
-            .sum()
+            .get(name)
+            .map(|m| m.values().fold(0u64, |a, v| a.wrapping_add(*v)))
+            .unwrap_or(0)
     }
 
     /// Merge all samples of one stat name across instances.
     pub fn sample_total(&self, name: &str) -> Option<Sample> {
+        let per_inst = self.samples.get(name)?;
         let mut acc: Option<Sample> = None;
-        for ((_, n), s) in &self.samples {
-            if *n == name {
-                match &mut acc {
-                    None => acc = Some(*s),
-                    Some(a) => {
-                        a.sum += s.sum;
-                        a.n += s.n;
-                        a.min = a.min.min(s.min);
-                        a.max = a.max.max(s.max);
-                    }
-                }
+        for s in per_inst.values() {
+            match &mut acc {
+                None => acc = Some(*s),
+                Some(a) => a.merge(s),
+            }
+        }
+        acc
+    }
+
+    /// Merge all histograms of one stat name across instances.
+    pub fn histogram_total(&self, name: &str) -> Option<Histogram> {
+        let per_inst = self.histograms.get(name)?;
+        let mut acc: Option<Histogram> = None;
+        for h in per_inst.values() {
+            match &mut acc {
+                None => acc = Some(h.clone()),
+                Some(a) => a.merge(h),
             }
         }
         acc
@@ -136,13 +273,27 @@ impl Stats {
         };
         let mut counters = BTreeMap::new();
         let mut samples = BTreeMap::new();
-        for ((i, n), v) in &self.counters {
-            counters.insert(format!("{}.{n}", name_of(*i)), *v);
+        let mut histograms = BTreeMap::new();
+        for (n, per_inst) in &self.counters {
+            for (i, v) in per_inst {
+                counters.insert(format!("{}.{n}", name_of(*i)), *v);
+            }
         }
-        for ((i, n), s) in &self.samples {
-            samples.insert(format!("{}.{n}", name_of(*i)), *s);
+        for (n, per_inst) in &self.samples {
+            for (i, s) in per_inst {
+                samples.insert(format!("{}.{n}", name_of(*i)), *s);
+            }
         }
-        StatsReport { counters, samples }
+        for (n, per_inst) in &self.histograms {
+            for (i, h) in per_inst {
+                histograms.insert(format!("{}.{n}", name_of(*i)), h.clone());
+            }
+        }
+        StatsReport {
+            counters,
+            samples,
+            histograms,
+        }
     }
 }
 
@@ -153,6 +304,8 @@ pub struct StatsReport {
     pub counters: BTreeMap<String, u64>,
     /// `instance.stat -> aggregate`.
     pub samples: BTreeMap<String, Sample>,
+    /// `instance.stat -> log2-bucket histogram`.
+    pub histograms: BTreeMap<String, Histogram>,
 }
 
 #[cfg(test)]
@@ -167,6 +320,17 @@ mod tests {
         s.count(i, "retired", 2);
         assert_eq!(s.counter(i, "retired"), 5);
         assert_eq!(s.counter(i, "absent"), 0);
+    }
+
+    #[test]
+    fn lookup_works_with_runtime_names() {
+        // `counter` takes a non-static &str; the name-first map must hash
+        // straight to the entry rather than scanning.
+        let mut s = Stats::new();
+        s.count(InstanceId(3), "hits", 7);
+        let runtime_name = String::from("hits");
+        assert_eq!(s.counter(InstanceId(3), &runtime_name), 7);
+        assert_eq!(s.counter(InstanceId(2), &runtime_name), 0);
     }
 
     #[test]
@@ -202,9 +366,11 @@ mod tests {
         let mut s = Stats::new();
         s.count(InstanceId(0), "x", 1);
         s.sample(InstanceId(1), "y", 2.0);
+        s.histo(InstanceId(0), "z", 9);
         let r = s.report(&["alpha".to_owned(), "beta".to_owned()]);
         assert_eq!(r.counters["alpha.x"], 1);
         assert_eq!(r.samples["beta.y"].n, 1);
+        assert_eq!(r.histograms["alpha.z"].count(), 1);
     }
 
     #[test]
@@ -216,5 +382,58 @@ mod tests {
             max: 0.0,
         };
         assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_width() {
+        let mut h = Histogram::new();
+        h.record(0); // bucket 0: [0, 0]
+        h.record(1); // bucket 1: [1, 1]
+        h.record(2); // bucket 2: [2, 3]
+        h.record(3);
+        h.record(700); // bucket 10: [512, 1023]
+        let b: Vec<_> = h.buckets().collect();
+        assert_eq!(b, vec![(0, 0, 1), (1, 1, 1), (2, 3, 2), (512, 1023, 1)]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 706);
+        assert!((h.mean() - 141.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_extremes_and_merge() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX); // bucket 64: [2^63, MAX]
+        let b: Vec<_> = h.buckets().collect();
+        assert_eq!(b, vec![(1 << 63, u64::MAX, 1)]);
+        let mut h2 = Histogram::new();
+        h2.record(1);
+        h2.merge(&h);
+        assert_eq!(h2.count(), 2);
+        assert_eq!(h2.buckets().count(), 2);
+    }
+
+    #[test]
+    fn histogram_totals_merge_across_instances() {
+        let mut s = Stats::new();
+        s.histo(InstanceId(0), "lat", 2);
+        s.histo(InstanceId(1), "lat", 3);
+        s.histo(InstanceId(1), "lat", 1000);
+        let t = s.histogram_total("lat").unwrap();
+        assert_eq!(t.count(), 3);
+        assert_eq!(s.histogram(InstanceId(1), "lat").unwrap().count(), 2);
+        assert!(s.histogram_total("none").is_none());
+        assert!(s.histogram(InstanceId(0), "none").is_none());
+    }
+
+    #[test]
+    fn histogram_render_lists_occupied_buckets() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(5);
+        h.record(90);
+        let r = h.render();
+        assert!(r.contains("[           4 ..            7]"), "{r}");
+        assert!(r.contains("[          64 ..          127]"), "{r}");
+        assert_eq!(r.lines().count(), 2);
     }
 }

@@ -1,12 +1,16 @@
-//! Ready-made [`Tracer`] implementations.
+//! Ready-made trace sinks: a human-readable event log, an in-memory
+//! recording, and a JSONL structured-event stream.
 //!
 //! The paper positions LSE as "an effective educational tool when
 //! integrated with an interactive system visualizer" — the kernel's
-//! [`Tracer`] hook is that integration point. These implementations cover
-//! the two common needs: a human-readable event log and an in-memory
-//! recording for programmatic inspection.
+//! [`crate::probe::Probe`] hook is that integration point. These sinks
+//! cover the common needs; waveforms live in [`crate::vcd`] and hot-spot
+//! attribution in [`crate::profile`].
 
-use crate::exec::Tracer;
+use crate::netlist::{EdgeId, InstanceId};
+use crate::probe::{json_escape, Probe, ResolvedBy, Tracer};
+use crate::signal::Wire;
+use crate::topology::Topology;
 use crate::value::Value;
 use parking_lot_free::Mutex;
 use std::io::Write;
@@ -25,6 +29,7 @@ pub struct TextTracer<W: Write + Send> {
     /// long-running simulation cannot fill the disk by accident.
     limit: u64,
     written: u64,
+    truncated: bool,
 }
 
 impl<W: Write + Send> TextTracer<W> {
@@ -35,6 +40,7 @@ impl<W: Write + Send> TextTracer<W> {
             out,
             limit,
             written: 0,
+            truncated: false,
         }
     }
 }
@@ -42,10 +48,22 @@ impl<W: Write + Send> TextTracer<W> {
 impl<W: Write + Send> Tracer for TextTracer<W> {
     fn transfer(&mut self, now: u64, src: &str, dst: &str, value: &Value) {
         if self.limit > 0 && self.written >= self.limit {
+            // Say so once instead of silently dropping the tail.
+            if !self.truncated {
+                self.truncated = true;
+                let _ = writeln!(self.out, "... trace truncated at {} events", self.limit);
+                let _ = self.out.flush();
+            }
             return;
         }
         self.written += 1;
         let _ = writeln!(self.out, "@{now} {src} -> {dst}: {value}");
+    }
+}
+
+impl<W: Write + Send> Drop for TextTracer<W> {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
     }
 }
 
@@ -90,9 +108,22 @@ pub struct TraceHandle {
 }
 
 impl TraceHandle {
-    /// Snapshot of all recorded events.
+    /// Snapshot of all recorded events (clones the buffer; prefer
+    /// [`TraceHandle::take`] when draining a long run).
     pub fn events(&self) -> Vec<TraceEvent> {
         self.events.lock().expect("trace lock").clone()
+    }
+
+    /// Drain the recording buffer: returns everything recorded since the
+    /// last drain and leaves the buffer empty, so a long run can be
+    /// consumed incrementally without cloning an ever-growing `Vec`.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("trace lock"))
+    }
+
+    /// Discard everything recorded so far.
+    pub fn clear(&self) {
+        self.events.lock().expect("trace lock").clear();
     }
 
     /// Number of recorded events.
@@ -114,6 +145,130 @@ impl Tracer for RecordingTracer {
             dst: dst.to_owned(),
             value: value.to_string(),
         });
+    }
+}
+
+/// Structured-event sink: one JSON object per line, for programmatic
+/// analysis (`jq`, notebooks, visualizer front ends).
+///
+/// Event kinds: `attach` (header: instance/edge census and the instance
+/// name table), `step` / `step_end`, `resolve` (per-wire resolution with
+/// polarity, payload rendering and source — module vs. default
+/// semantics), `transfer`, and — when enabled with
+/// [`JsonlProbe::with_handlers`] — `react` / `commit` handler brackets.
+pub struct JsonlProbe<W: Write + Send> {
+    out: W,
+    handlers: bool,
+}
+
+impl<W: Write + Send> JsonlProbe<W> {
+    /// Stream events to any writer.
+    pub fn new(out: W) -> Self {
+        JsonlProbe {
+            out,
+            handlers: false,
+        }
+    }
+
+    /// Also emit per-handler `react` / `commit` enter events (verbose:
+    /// one line per handler invocation).
+    pub fn with_handlers(mut self) -> Self {
+        self.handlers = true;
+        self
+    }
+}
+
+fn wire_name(w: Wire) -> &'static str {
+    match w {
+        Wire::Data => "data",
+        Wire::Enable => "enable",
+        Wire::Ack => "ack",
+    }
+}
+
+impl<W: Write + Send> Probe for JsonlProbe<W> {
+    fn attach(&mut self, topo: &Topology) {
+        let names: Vec<String> = topo
+            .instance_names()
+            .map(|n| format!("\"{}\"", json_escape(n)))
+            .collect();
+        let _ = writeln!(
+            self.out,
+            "{{\"t\":\"attach\",\"instances\":{},\"edges\":{},\"names\":[{}]}}",
+            topo.instance_count(),
+            topo.edge_count(),
+            names.join(",")
+        );
+    }
+
+    fn step_begin(&mut self, now: u64) {
+        let _ = writeln!(self.out, "{{\"t\":\"step\",\"now\":{now}}}");
+    }
+
+    fn step_end(&mut self, now: u64) {
+        let _ = writeln!(self.out, "{{\"t\":\"step_end\",\"now\":{now}}}");
+    }
+
+    fn react_enter(&mut self, now: u64, inst: InstanceId) {
+        if self.handlers {
+            let _ = writeln!(
+                self.out,
+                "{{\"t\":\"react\",\"now\":{now},\"inst\":{}}}",
+                inst.0
+            );
+        }
+    }
+
+    fn commit_enter(&mut self, now: u64, inst: InstanceId) {
+        if self.handlers {
+            let _ = writeln!(
+                self.out,
+                "{{\"t\":\"commit\",\"now\":{now},\"inst\":{}}}",
+                inst.0
+            );
+        }
+    }
+
+    fn signal_resolved(
+        &mut self,
+        now: u64,
+        edge: EdgeId,
+        wire: Wire,
+        yes: bool,
+        value: Option<&Value>,
+        by: ResolvedBy,
+    ) {
+        let by_s = match by {
+            ResolvedBy::Module(i) => format!("{}", i.0),
+            ResolvedBy::Default => "\"default\"".to_owned(),
+        };
+        let val_s = match value {
+            Some(v) => format!(",\"value\":\"{}\"", json_escape(&v.to_string())),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            self.out,
+            "{{\"t\":\"resolve\",\"now\":{now},\"edge\":{},\"wire\":\"{}\",\"yes\":{yes}{val_s},\"by\":{by_s}}}",
+            edge.0,
+            wire_name(wire),
+        );
+    }
+
+    fn transfer(&mut self, now: u64, edge: EdgeId, src: &str, dst: &str, value: &Value) {
+        let _ = writeln!(
+            self.out,
+            "{{\"t\":\"transfer\",\"now\":{now},\"edge\":{},\"src\":\"{}\",\"dst\":\"{}\",\"value\":\"{}\"}}",
+            edge.0,
+            json_escape(src),
+            json_escape(dst),
+            json_escape(&value.to_string()),
+        );
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlProbe<W> {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
     }
 }
 
@@ -162,31 +317,49 @@ mod tests {
         Simulator::new(b.build().unwrap(), SchedKind::Dynamic)
     }
 
+    /// Shared byte buffer implementing Write, for reading sink output
+    /// back out of a moved-in writer.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+    impl Write for Shared {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    impl Shared {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
     #[test]
     fn text_tracer_formats_and_limits() {
         let mut sim = tiny_sim();
-        let buf: Vec<u8> = Vec::new();
-        // Move the buffer in; read it back through a shared Vec is not
-        // possible with Write by value, so trace to a Vec via a wrapper.
-        struct Shared(Arc<Mutex<Vec<u8>>>);
-        impl Write for Shared {
-            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
-                self.0.lock().unwrap().extend_from_slice(b);
-                Ok(b.len())
-            }
-            fn flush(&mut self) -> std::io::Result<()> {
-                Ok(())
-            }
-        }
-        drop(buf);
-        let store: Arc<Mutex<Vec<u8>>> = Arc::default();
-        sim.set_tracer(Box::new(TextTracer::new(Shared(store.clone()), 2)));
+        let store = Shared::default();
+        sim.set_tracer(Box::new(TextTracer::new(store.clone(), 2)));
         sim.run(5).unwrap();
-        let text = String::from_utf8(store.lock().unwrap().clone()).unwrap();
+        let text = store.text();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2, "limit respected: {text}");
+        // Two events, then a single truncation marker — not silence.
+        assert_eq!(lines.len(), 3, "2 events + marker: {text}");
         assert_eq!(lines[0], "@0 s -> k: 0");
         assert_eq!(lines[1], "@1 s -> k: 1");
+        assert_eq!(lines[2], "... trace truncated at 2 events");
+    }
+
+    #[test]
+    fn text_tracer_unbounded_has_no_marker() {
+        let mut sim = tiny_sim();
+        let store = Shared::default();
+        sim.set_tracer(Box::new(TextTracer::new(store.clone(), 0)));
+        sim.run(4).unwrap();
+        let text = store.text();
+        assert_eq!(text.lines().count(), 4);
+        assert!(!text.contains("truncated"));
     }
 
     #[test]
@@ -202,5 +375,55 @@ mod tests {
         assert_eq!(ev[2].src, "s");
         assert_eq!(ev[2].dst, "k");
         assert_eq!(ev[2].value, "2");
+    }
+
+    #[test]
+    fn trace_handle_take_drains_and_clear_discards() {
+        let mut sim = tiny_sim();
+        let (tracer, handle) = RecordingTracer::new();
+        sim.set_tracer(Box::new(tracer));
+        sim.run(3).unwrap();
+        let first = handle.take();
+        assert_eq!(first.len(), 3);
+        assert!(handle.is_empty(), "take drains the buffer");
+        sim.run(2).unwrap();
+        let second = handle.take();
+        assert_eq!(second.len(), 2);
+        assert_eq!(second[0].now, 3, "drained runs resume where they left");
+        sim.run(1).unwrap();
+        handle.clear();
+        assert!(handle.is_empty());
+    }
+
+    #[test]
+    fn jsonl_probe_streams_structured_events() {
+        let mut sim = tiny_sim();
+        let store = Shared::default();
+        sim.set_probe(Box::new(JsonlProbe::new(store.clone())));
+        sim.run(2).unwrap();
+        drop(sim); // flush
+        let text = store.text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines[0].starts_with("{\"t\":\"attach\",\"instances\":2,\"edges\":1"),
+            "{text}"
+        );
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        // Per step: step + 3 resolutions + 1 transfer + step_end = 6.
+        assert_eq!(lines.len(), 1 + 2 * 6, "{text}");
+        assert!(text.contains("\"wire\":\"data\""));
+        assert!(text.contains("\"t\":\"transfer\""));
+        assert!(!text.contains("\"t\":\"react\""), "handlers off by default");
+    }
+
+    #[test]
+    fn jsonl_probe_handler_events_opt_in() {
+        let mut sim = tiny_sim();
+        let store = Shared::default();
+        sim.set_probe(Box::new(JsonlProbe::new(store.clone()).with_handlers()));
+        sim.run(1).unwrap();
+        let text = store.text();
+        assert!(text.contains("\"t\":\"react\""), "{text}");
+        assert!(text.contains("\"t\":\"commit\""), "{text}");
     }
 }

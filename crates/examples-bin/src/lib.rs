@@ -1,0 +1,293 @@
+//! Shared observability front end for the example binaries.
+//!
+//! Every example accepts the same flags and wires them to the kernel's
+//! [`Probe`] sinks:
+//!
+//! ```text
+//! --trace [--trace-limit N]   print transfers as they happen (default cap 200)
+//! --vcd PATH                  dump waveforms for GTKWave
+//! --jsonl PATH                stream structured events as JSON lines
+//! --profile                   print a per-instance hot-spot table at exit
+//! --metrics-out PATH          write engine metrics + statistics as JSON
+//! ```
+//!
+//! Usage inside an example:
+//!
+//! ```ignore
+//! let opts = liberty_examples::ObsOpts::parse_env()?;
+//! // ... opts.rest holds the example's own positional args ...
+//! let obs = opts.install(&mut sim)?;
+//! sim.run(cycles)?;
+//! obs.finish(&sim)?;
+//! ```
+
+use liberty_core::prelude::*;
+use liberty_core::probe::json_escape;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Parsed observability flags (plus the remaining, example-specific args).
+#[derive(Debug, Default)]
+pub struct ObsOpts {
+    trace: bool,
+    trace_limit: u64,
+    vcd: Option<PathBuf>,
+    jsonl: Option<PathBuf>,
+    profile: bool,
+    metrics_out: Option<PathBuf>,
+    /// Arguments not consumed by the observability layer, in order.
+    pub rest: Vec<String>,
+}
+
+/// One line per flag, for embedding in an example's usage message.
+pub const OBS_USAGE: &str = "  --trace             print transfers (cap with --trace-limit N, default 200)\n  --vcd PATH          dump data/enable/ack waveforms for GTKWave\n  --jsonl PATH        stream structured events as JSON lines\n  --profile           print a per-instance hot-spot table at exit\n  --metrics-out PATH  write engine metrics + statistics as JSON";
+
+impl ObsOpts {
+    /// Parse `std::env::args().skip(1)`.
+    pub fn parse_env() -> Result<Self, String> {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse an argument stream; unrecognized arguments land in `rest`.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut o = ObsOpts {
+            trace_limit: 200,
+            ..ObsOpts::default()
+        };
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--trace" => o.trace = true,
+                "--profile" => o.profile = true,
+                "--trace-limit" => {
+                    o.trace_limit = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--trace-limit requires a number")?;
+                }
+                _ if a == "--vcd" || a.starts_with("--vcd=") => {
+                    o.vcd = Some(flag_path(&a, "--vcd", &mut args)?);
+                }
+                _ if a == "--jsonl" || a.starts_with("--jsonl=") => {
+                    o.jsonl = Some(flag_path(&a, "--jsonl", &mut args)?);
+                }
+                _ if a == "--metrics-out" || a.starts_with("--metrics-out=") => {
+                    o.metrics_out = Some(flag_path(&a, "--metrics-out", &mut args)?);
+                }
+                _ => o.rest.push(a),
+            }
+        }
+        Ok(o)
+    }
+
+    /// Attach the requested sinks to a constructed simulator. Call
+    /// [`ObsSession::finish`] after the run to emit end-of-run outputs.
+    pub fn install(&self, sim: &mut Simulator) -> Result<ObsSession, std::io::Error> {
+        let mut multi = MultiProbe::new();
+        if self.trace {
+            multi.push(Box::new(TracerProbe::new(Box::new(TextTracer::new(
+                std::io::stdout(),
+                self.trace_limit,
+            )))));
+        }
+        if let Some(path) = &self.vcd {
+            multi.push(Box::new(VcdProbe::create(path)?));
+        }
+        if let Some(path) = &self.jsonl {
+            let f = std::io::BufWriter::new(std::fs::File::create(path)?);
+            multi.push(Box::new(JsonlProbe::new(f)));
+        }
+        let mut profile = None;
+        if self.profile {
+            let (probe, handle) = Profiler::new();
+            multi.push(Box::new(probe));
+            profile = Some(handle);
+        }
+        if !multi.is_empty() {
+            match multi.into_single() {
+                Ok(single) => sim.set_probe(single),
+                Err(multi) => sim.set_probe(Box::new(multi)),
+            }
+        }
+        Ok(ObsSession {
+            profile,
+            metrics_out: self.metrics_out.clone(),
+        })
+    }
+}
+
+/// Take a flag's path value from `--flag=PATH` or the next argument.
+fn flag_path(
+    a: &str,
+    name: &str,
+    args: &mut impl Iterator<Item = String>,
+) -> Result<PathBuf, String> {
+    if let Some(v) = a.strip_prefix(name).and_then(|r| r.strip_prefix('=')) {
+        Ok(PathBuf::from(v))
+    } else {
+        args.next()
+            .map(PathBuf::from)
+            .ok_or_else(|| format!("{name} requires a path argument"))
+    }
+}
+
+/// End-of-run half of the observability session.
+pub struct ObsSession {
+    profile: Option<ProfileHandle>,
+    metrics_out: Option<PathBuf>,
+}
+
+impl ObsSession {
+    /// Print the profiler's hot-spot table (when `--profile`) and write
+    /// the metrics JSON (when `--metrics-out`). Drop the simulator's probe
+    /// first if you need the VCD/JSONL files flushed before reading them;
+    /// they are flushed at simulator drop in any case.
+    pub fn finish(self, sim: &Simulator) -> Result<(), std::io::Error> {
+        if let Some(handle) = &self.profile {
+            let report = handle.report();
+            println!("\nhot spots (handler wall-clock time):");
+            print!("{}", report.render_table(20));
+        }
+        if let Some(path) = &self.metrics_out {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+            f.write_all(metrics_json(sim).as_bytes())?;
+            f.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Render engine metrics + the full statistics report as a JSON document.
+/// Hand-rolled: the kernel keeps zero mandatory dependencies.
+pub fn metrics_json(sim: &Simulator) -> String {
+    let m = sim.metrics();
+    let rep = sim.report();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"engine\": {{\"steps\": {}, \"reacts\": {}, \"commits\": {}, \"defaults\": {}}},\n",
+        m.steps, m.reacts, m.commits, m.defaults
+    ));
+    let transfers: u64 = sim.transfer_counts().iter().sum();
+    out.push_str(&format!("  \"transfers\": {transfers},\n"));
+
+    out.push_str("  \"counters\": {");
+    let mut first = true;
+    for (k, v) in &rep.counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    \"{}\": {v}", json_escape(k)));
+    }
+    out.push_str("\n  },\n");
+
+    out.push_str("  \"samples\": {");
+    let mut first = true;
+    for (k, s) in &rep.samples {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    \"{}\": {{\"n\": {}, \"min\": {}, \"max\": {}, \"mean\": {}}}",
+            json_escape(k),
+            s.n,
+            s.min,
+            s.max,
+            s.mean()
+        ));
+    }
+    out.push_str("\n  },\n");
+
+    out.push_str("  \"histograms\": {");
+    let mut first = true;
+    for (k, h) in &rep.histograms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+            json_escape(k),
+            h.count(),
+            h.sum()
+        ));
+        let mut bfirst = true;
+        for (lo, hi, n) in h.buckets() {
+            if !bfirst {
+                out.push_str(", ");
+            }
+            bfirst = false;
+            out.push_str(&format!("[{lo}, {hi}, {n}]"));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ObsOpts {
+        ObsOpts::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parses_flags_and_leaves_rest() {
+        let o = parse(&[
+            "specs/pipeline.lss",
+            "--vcd",
+            "out.vcd",
+            "60",
+            "--profile",
+            "--trace",
+            "--trace-limit",
+            "9",
+            "--metrics-out=metrics.json",
+        ]);
+        assert_eq!(o.rest, vec!["specs/pipeline.lss", "60"]);
+        assert_eq!(o.vcd.as_deref(), Some(std::path::Path::new("out.vcd")));
+        assert!(o.profile && o.trace);
+        assert_eq!(o.trace_limit, 9);
+        assert_eq!(
+            o.metrics_out.as_deref(),
+            Some(std::path::Path::new("metrics.json"))
+        );
+        assert!(o.jsonl.is_none());
+    }
+
+    #[test]
+    fn missing_path_is_an_error() {
+        assert!(ObsOpts::parse(["--vcd".to_string()].into_iter()).is_err());
+        assert!(ObsOpts::parse(["--trace-limit".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn metrics_json_is_balanced() {
+        let mut b = NetlistBuilder::new();
+        struct Nop;
+        impl Module for Nop {
+            fn react(&mut self, _: &mut ReactCtx<'_>) -> Result<(), SimError> {
+                Ok(())
+            }
+            fn commit(&mut self, ctx: &mut CommitCtx<'_>) -> Result<(), SimError> {
+                ctx.count("ticks", 1);
+                Ok(())
+            }
+        }
+        b.add("n", ModuleSpec::new("nop"), Box::new(Nop)).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+        sim.run(3).unwrap();
+        let j = metrics_json(&sim);
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced braces: {j}"
+        );
+        assert!(j.contains("\"steps\": 3"), "{j}");
+        assert!(j.contains("\"n.ticks\": 3"), "{j}");
+    }
+}

@@ -138,6 +138,7 @@ impl Module for Queue {
             ctx.count("full_cycles", 1);
         }
         ctx.sample("occupancy", self.items.len() as f64);
+        ctx.histo("occupancy_dist", self.items.len() as u64);
         popped.clear();
         Ok(())
     }

@@ -8,13 +8,12 @@
 //! ```
 
 use liberty_core::prelude::*;
+use liberty_examples::ObsOpts;
 use liberty_systems::cmp::{cmp_simulator, CmpConfig};
 
-fn main() -> Result<(), SimError> {
-    let cores: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ObsOpts::parse_env()?;
+    let cores: u32 = opts.rest.first().and_then(|s| s.parse().ok()).unwrap_or(8);
     let cfg = CmpConfig {
         cores,
         items: 16,
@@ -28,8 +27,10 @@ fn main() -> Result<(), SimError> {
         cmp.cores.len(),
         cmp.pairs
     );
+    let obs = opts.install(&mut sim)?;
     let cycles = sim.run_until(500_000, |_| cmp.done())?;
     sim.run(64)?;
+    drop(sim.take_probe()); // flush --vcd / --jsonl files
     match cmp.check_results() {
         Ok(()) => println!("all pair results correct after {cycles} cycles\n"),
         Err(e) => panic!("wrong results: {e}"),
@@ -63,5 +64,6 @@ fn main() -> Result<(), SimError> {
         .map(|s| s.mean())
         .unwrap_or(0.0);
     println!("on-chip network: {noc_rx} packets delivered, mean latency {noc_lat:.1} cycles");
+    obs.finish(&sim)?;
     Ok(())
 }

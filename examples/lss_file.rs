@@ -2,18 +2,21 @@
 //! registry — the paper's Fig. 1 as a command-line tool.
 //!
 //! ```text
-//! cargo run -p liberty-examples --bin lss_file -- specs/pipeline.lss [cycles]
+//! cargo run -p liberty-examples --bin lss_file -- specs/pipeline.lss [cycles] \
+//!     [--trace] [--vcd out.vcd] [--jsonl out.jsonl] [--profile] [--metrics-out m.json]
 //! ```
 //!
 //! Prints the construction census and every non-zero statistic the
 //! components published.
 
 use liberty_core::prelude::*;
+use liberty_examples::ObsOpts;
 use liberty_lss::build_simulator;
 use liberty_systems::full_registry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args = std::env::args().skip(1);
+    let opts = ObsOpts::parse_env()?;
+    let mut args = opts.rest.iter().cloned();
     let path = args
         .next()
         .unwrap_or_else(|| "specs/pipeline.lss".to_owned());
@@ -33,7 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {n:>4} x {t}");
     }
 
+    let obs = opts.install(&mut sim)?;
     sim.run(cycles)?;
+    drop(sim.take_probe()); // flush --vcd / --jsonl files
     println!("\nran {cycles} cycles; statistics:");
     let rep = sim.report();
     for (key, v) in &rep.counters {
@@ -48,5 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s.n
         );
     }
+    for (key, h) in &rep.histograms {
+        println!("  {key}: histogram, n {} mean {:.2}", h.count(), h.mean());
+        print!("{}", h.render());
+    }
+    obs.finish(&sim)?;
     Ok(())
 }

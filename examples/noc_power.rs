@@ -36,22 +36,22 @@ fn build(w: u32, h: u32, rate: f64) -> Simulator {
     Simulator::new(b.build().unwrap(), SchedKind::Static)
 }
 
-fn main() -> Result<(), SimError> {
-    let w: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
-    let h: u32 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = liberty_examples::ObsOpts::parse_env()?;
+    let w: u32 = opts.rest.first().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let h: u32 = opts.rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
     println!("{w}x{h} mesh, uniform random traffic, 3000 cycles per point\n");
     println!(
         "{:>6} {:>10} {:>9} {:>11} {:>11} {:>9} {:>8}",
         "rate", "delivered", "lat(cyc)", "dynamic mW", "leakage mW", "leak %", "temp C"
     );
-    for rate in [0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30] {
+    let rates = [0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30];
+    for (ri, rate) in rates.into_iter().enumerate() {
         let mut sim = build(w, h, rate);
+        // Observability flags watch the highest-load sweep point.
+        let obs = (ri == rates.len() - 1)
+            .then(|| opts.install(&mut sim))
+            .transpose()?;
         sim.run(3000)?;
         let delivered = sim.stats().counter_total("received");
         let lat = sim
@@ -76,6 +76,10 @@ fn main() -> Result<(), SimError> {
             100.0 * p.leakage_fraction,
             p.temp_c
         );
+        if let Some(obs) = obs {
+            drop(sim.take_probe()); // flush --vcd / --jsonl files
+            obs.finish(&sim)?;
+        }
     }
     println!("\nshapes to notice: latency grows with load; leakage share shrinks as");
     println!("dynamic power grows; the thermal estimate follows total power.");

@@ -14,8 +14,13 @@ use liberty_upl::emu::Machine;
 use liberty_upl::program;
 use std::sync::Arc;
 
-fn main() -> Result<(), SimError> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "branchy".into());
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = liberty_examples::ObsOpts::parse_env()?;
+    let name = opts
+        .rest
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "branchy".into());
     let prog = Arc::new(program::by_name(&name).unwrap_or_else(|| {
         panic!(
             "unknown program {name:?}; try: count fib matmul pointer_chase branchy memcpy dotprod"
@@ -76,8 +81,11 @@ fn main() -> Result<(), SimError> {
         "{:<30} {:>9} {:>7} {:>11} {:>9}",
         "stage", "cycles", "IPC", "mispredicts", "D$ hit%"
     );
-    for (name, cfg) in stages {
+    let last = stages.len() - 1;
+    for (si, (name, cfg)) in stages.into_iter().enumerate() {
         let (mut sim, handles) = core_simulator(prog.clone(), &cfg, SchedKind::Static)?;
+        // Observability flags watch the most refined configuration.
+        let obs = (si == last).then(|| opts.install(&mut sim)).transpose()?;
         let cycles = run_to_halt(&mut sim, &handles, 10_000_000)?;
         assert!(handles.arch.is_halted(), "did not halt");
         // The refinement changed only timing, never meaning:
@@ -106,6 +114,10 @@ fn main() -> Result<(), SimError> {
             mis,
             hitrate
         );
+        if let Some(obs) = obs {
+            drop(sim.take_probe()); // flush --vcd / --jsonl files
+            obs.finish(&sim)?;
+        }
     }
     println!("\nall stages retired identical architectural state");
     Ok(())

@@ -31,7 +31,8 @@ fn frame(id: u64, words: Vec<u64>) -> Value {
     .into_value()
 }
 
-fn main() -> Result<(), SimError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = liberty_examples::ObsOpts::parse_env()?;
     let mut b = NetlistBuilder::new();
     let (e_spec, e_mod) = ether(&Params::new())?;
     let eth = b.add("eth", e_spec, e_mod)?;
@@ -69,9 +70,11 @@ fn main() -> Result<(), SimError> {
     b.connect(hm, "resp", pci, "tresp")?;
 
     let mut sim = Simulator::new(b.build()?, SchedKind::Static);
+    let obs = opts.install(&mut sim)?;
     let n = payloads.len() as u64;
     let dev = nic.dev;
     let cycles = sim.run_until(60_000, |st| st.counter(dev, "dmas_completed") >= n)?;
+    drop(sim.take_probe()); // flush --vcd / --jsonl files
 
     println!("programmable NIC serviced {n} frames in {cycles} cycles\n");
     println!(
@@ -89,5 +92,6 @@ fn main() -> Result<(), SimError> {
         assert_eq!(got, &p[..], "payload mismatch");
     }
     println!("\nall payloads delivered to host memory; trace captured for replay");
+    obs.finish(&sim)?;
     Ok(())
 }

@@ -5,13 +5,16 @@
 //!
 //! ```text
 //! cargo run -p liberty-examples --bin quickstart
+//! cargo run -p liberty-examples --bin quickstart -- --vcd out.vcd --profile
 //! ```
 
 use liberty_core::prelude::*;
+use liberty_examples::ObsOpts;
 use liberty_lss::build_simulator;
 use liberty_systems::full_registry;
 
-fn main() -> Result<(), SimError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ObsOpts::parse_env()?;
     // 1. A structural specification: a generator feeding a queue feeding
     //    two consumers through a tee. No control logic is written — the
     //    three-signal contract and the default control semantics handle
@@ -40,7 +43,8 @@ fn main() -> Result<(), SimError> {
         report.leaf_instances, report.edges
     );
 
-    // 3. Run it.
+    // 3. Run it (with any requested probes watching).
+    let obs = opts.install(&mut sim)?;
     sim.run(40)?;
 
     // 4. Read the statistics the components published.
@@ -63,5 +67,7 @@ fn main() -> Result<(), SimError> {
     assert_eq!(sim.stats().counter(a, "received"), 12);
     assert_eq!(sim.stats().counter(b, "received"), 12);
     println!("ok: both consumers saw the full stream");
+    drop(sim.take_probe()); // flush --vcd / --jsonl files
+    obs.finish(&sim)?;
     Ok(())
 }

@@ -7,14 +7,13 @@
 //! ```
 
 use liberty_core::prelude::*;
+use liberty_examples::ObsOpts;
 use liberty_systems::programs;
 use liberty_systems::sensor::{sensor_simulator, SensorConfig};
 
-fn main() -> Result<(), SimError> {
-    let nodes: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ObsOpts::parse_env()?;
+    let nodes: u32 = opts.rest.first().and_then(|s| s.parse().ok()).unwrap_or(5);
     let cfg = SensorConfig {
         nodes,
         samples: 8,
@@ -24,9 +23,11 @@ fn main() -> Result<(), SimError> {
     let (mut sim, net) = sensor_simulator(&cfg, SchedKind::Static)?;
     let base = net.base.expect("base station");
     println!("{nodes} sensor nodes, one shared wireless channel, base at station 0\n");
+    let obs = opts.install(&mut sim)?;
     let cycles = sim.run_until(500_000, |st| {
         st.counter(base, "received") >= u64::from(nodes)
     })?;
+    drop(sim.take_probe()); // flush --vcd / --jsonl files
     println!(
         "base received {}/{} reduced samples in {cycles} cycles",
         sim.stats().counter(base, "received"),
@@ -55,5 +56,6 @@ fn main() -> Result<(), SimError> {
         "\neach sample is the DSP core's reduction: sum(2i+5, i<8) = {}",
         programs::expected_sum(8)
     );
+    obs.finish(&sim)?;
     Ok(())
 }
