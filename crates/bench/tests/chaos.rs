@@ -1,0 +1,150 @@
+//! Chaos harness: soak representative systems under seeded random fault
+//! plans and assert the resilience layer's three contracts:
+//!
+//! 1. **No hang** — every run terminates, either cleanly or with a
+//!    structured error (never a panic escaping the kernel, never an
+//!    unbounded reaction loop: the watchdog bounds each step).
+//! 2. **Deterministic replay** — the same fault seed produces a
+//!    byte-identical canonical probe stream, on repetition *and* across
+//!    all three schedulers.
+//! 3. **Fault-free control** — with no plan installed the same builds
+//!    behave exactly as the tier-1 suites expect (the injection layer is
+//!    compiled out of the hot path and changes nothing).
+//!
+//! Targets: the three kernel benchmark workloads (8x8 mesh NoC, 8-core
+//! CMP + NoC, 4-stage processor core) and the three LSS example
+//! specifications, plus a sensor-field build — the example systems the
+//! repo ships.
+
+use liberty_bench::kernel::{build, WORKLOADS};
+use liberty_core::prelude::*;
+use liberty_lss::build_simulator;
+use liberty_systems::full_registry;
+use liberty_systems::sensor::{sensor_simulator, SensorConfig};
+use std::io::Write;
+
+const SEEDS: &[u64] = &[1, 42, 0xC0FFEE];
+const CYCLES: u64 = 48;
+const SCHEDS: &[SchedKind] = &[SchedKind::Sweep, SchedKind::Dynamic, SchedKind::Static];
+
+/// Shared byte buffer implementing `Write` for in-memory JSONL capture.
+#[derive(Clone, Default)]
+struct Buf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+impl Write for Buf {
+    fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(b);
+        Ok(b.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+impl Buf {
+    fn take(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+/// Every system the harness soaks, by name.
+fn targets() -> Vec<&'static str> {
+    let mut t = WORKLOADS.to_vec();
+    t.extend([
+        "specs/pipeline.lss",
+        "specs/dual_core_noc.lss",
+        "specs/refinement.lss",
+        "sensor field",
+    ]);
+    t
+}
+
+fn build_target(name: &str, sched: SchedKind) -> Simulator {
+    if WORKLOADS.contains(&name) {
+        build(name, sched)
+    } else if name == "sensor field" {
+        sensor_simulator(&SensorConfig::default(), sched)
+            .expect("sensor build")
+            .0
+    } else {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(name);
+        let src = std::fs::read_to_string(&path).expect("spec readable");
+        let registry = full_registry();
+        build_simulator(&src, &registry, "main", &Params::new(), sched)
+            .expect("spec elaborates")
+            .0
+    }
+}
+
+/// One soaked run: seeded random faults, quarantine policy, watchdog,
+/// canonical probe stream. Returns the stream and the run verdict.
+fn chaos_run(name: &str, sched: SchedKind, seed: u64) -> (String, Result<(), String>, u64, u64) {
+    let mut sim = build_target(name, sched);
+    let buf = Buf::default();
+    sim.set_probe(Box::new(JsonlProbe::new(buf.clone()).canonical()));
+    let topo = sim.topology().clone();
+    sim.set_fault_plan(FaultPlan::random(seed, &topo, CYCLES, 0.25));
+    sim.set_failure_policy(FailurePolicy::Quarantine);
+    sim.set_watchdog(1_000_000);
+    let verdict = sim.run(CYCLES).map_err(|e| e.to_string());
+    let m = sim.metrics();
+    drop(sim.take_probe()); // flush
+    (buf.take(), verdict, m.faults_injected, m.quarantines)
+}
+
+#[test]
+fn soak_all_targets_no_hang_and_deterministic_replay() {
+    for name in targets() {
+        for &seed in SEEDS {
+            // Reference run + replay on the same scheduler.
+            let (s1, v1, faults, quarantines) = chaos_run(name, SchedKind::Dynamic, seed);
+            let (s2, v2, _, _) = chaos_run(name, SchedKind::Dynamic, seed);
+            assert_eq!(v1, v2, "{name} seed {seed}: verdict replays");
+            assert_eq!(s1, s2, "{name} seed {seed}: probe stream replays");
+            assert!(
+                faults > 0,
+                "{name} seed {seed}: random plan injected nothing"
+            );
+            // A structured error is an acceptable chaos outcome; an
+            // escaped panic or a hang is not (either would fail the
+            // test process, not this assert).
+            if let Err(e) = &v1 {
+                assert!(
+                    e.contains("panic") || e.contains("diverge") || e.contains("error"),
+                    "{name} seed {seed}: unstructured failure {e}"
+                );
+            }
+            // Cross-scheduler byte-identity of the canonical stream.
+            for &sched in SCHEDS {
+                let (s, v, _, q) = chaos_run(name, sched, seed);
+                assert_eq!(v1, v, "{name} seed {seed} {sched:?}: verdict matches");
+                assert_eq!(s1, s, "{name} seed {seed} {sched:?}: stream matches");
+                assert_eq!(
+                    quarantines, q,
+                    "{name} seed {seed} {sched:?}: quarantine census matches"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_free_control_runs_stay_clean() {
+    for name in targets() {
+        let mut sim = build_target(name, SchedKind::Dynamic);
+        sim.run(CYCLES).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let m = sim.metrics();
+        assert_eq!(m.faults_injected, 0, "{name}");
+        assert_eq!(m.quarantines, 0, "{name}");
+        assert!(sim.quarantined_instances().is_empty(), "{name}");
+    }
+}
+
+#[test]
+fn different_seeds_draw_different_plans() {
+    let sim = build_target(WORKLOADS[0], SchedKind::Dynamic);
+    let topo = sim.topology().clone();
+    let a = FaultPlan::random(1, &topo, CYCLES, 0.25);
+    let b = FaultPlan::random(2, &topo, CYCLES, 0.25);
+    assert_ne!(a.signal_faults(), b.signal_faults());
+}

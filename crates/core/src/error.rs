@@ -2,6 +2,78 @@
 
 use std::fmt;
 
+/// One wire that failed to settle when the convergence watchdog fired:
+/// which connection, which of its three wires, and how many times a
+/// module re-resolved it to a conflicting value this step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OscillatingWire {
+    /// Edge (connection) id of the oscillating wire.
+    pub edge: u32,
+    /// Which wire of the connection ("data", "enable" or "ack").
+    pub wire: &'static str,
+    /// Sender instance name.
+    pub src: String,
+    /// Receiver instance name.
+    pub dst: String,
+    /// Conflicting re-resolutions observed on this wire this step.
+    pub flips: u64,
+}
+
+/// Structured payload of [`SimError::Divergence`]: what was still
+/// fighting when the per-step reaction budget ran out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceInfo {
+    /// Time-step in which the watchdog fired.
+    pub step: u64,
+    /// `react` invocations consumed this step when the limit was hit.
+    pub iters: u64,
+    /// The configured per-step iteration limit.
+    pub limit: u64,
+    /// The wires observed oscillating, in (edge, wire) order.
+    pub oscillating: Vec<OscillatingWire>,
+    /// Instance names on the resolution cycle (the endpoints of the
+    /// oscillating wires), in instance-id order.
+    pub cycle: Vec<String>,
+}
+
+impl fmt::Display for DivergenceInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "step {}: no fixed point after {} reactions (limit {});",
+            self.step, self.iters, self.limit
+        )?;
+        if self.oscillating.is_empty() {
+            write!(f, " no oscillating wire identified")?;
+        } else {
+            write!(f, " oscillating:")?;
+            for w in &self.oscillating {
+                write!(
+                    f,
+                    " {}->{} edge {} {} ({} flips)",
+                    w.src, w.dst, w.edge, w.wire, w.flips
+                )?;
+            }
+        }
+        if !self.cycle.is_empty() {
+            write!(f, "; cycle: {}", self.cycle.join(" -> "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Structured payload of [`SimError::Panic`]: a module handler panicked
+/// and the failure policy was to abort.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PanicInfo {
+    /// Name of the instance whose handler panicked.
+    pub instance: String,
+    /// Time-step of the panic.
+    pub step: u64,
+    /// The panic payload, rendered (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
 /// Any error produced by the kernel or by a module during simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
@@ -20,6 +92,16 @@ pub enum SimError {
     Elab(String),
     /// A module reported a model-level failure.
     Model(String),
+    /// The reaction phase failed to converge within the watchdog's
+    /// per-step iteration budget; the payload names the oscillating
+    /// wires and the resolution cycle.
+    Divergence(Box<DivergenceInfo>),
+    /// A module handler panicked under [`FailurePolicy::Abort`]
+    /// (`FailurePolicy` lives in `crate::fault`).
+    Panic(Box<PanicInfo>),
+    /// A kernel invariant was violated (a bug in the kernel, not in a
+    /// model); reported instead of panicking so long soaks fail softly.
+    Internal(String),
 }
 
 impl SimError {
@@ -57,6 +139,27 @@ impl SimError {
     pub fn model(msg: impl Into<String>) -> Self {
         SimError::Model(msg.into())
     }
+
+    /// Construct a kernel-invariant error.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        SimError::Internal(msg.into())
+    }
+
+    /// The divergence payload, when this is a watchdog error.
+    pub fn as_divergence(&self) -> Option<&DivergenceInfo> {
+        match self {
+            SimError::Divergence(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The panic payload, when this is an aborted handler panic.
+    pub fn as_panic(&self) -> Option<&PanicInfo> {
+        match self {
+            SimError::Panic(p) => Some(p),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -69,6 +172,13 @@ impl fmt::Display for SimError {
             SimError::Param(m) => write!(f, "parameter error: {m}"),
             SimError::Elab(m) => write!(f, "elaboration error: {m}"),
             SimError::Model(m) => write!(f, "model error: {m}"),
+            SimError::Divergence(d) => write!(f, "divergence: {d}"),
+            SimError::Panic(p) => write!(
+                f,
+                "panic in {} at step {}: {}",
+                p.instance, p.step, p.message
+            ),
+            SimError::Internal(m) => write!(f, "internal kernel error: {m}"),
         }
     }
 }
@@ -88,5 +198,44 @@ mod tests {
         assert!(SimError::param("x").to_string().contains("parameter"));
         assert!(SimError::elab("x").to_string().contains("elaboration"));
         assert!(SimError::model("x").to_string().contains("model"));
+        assert!(SimError::internal("x").to_string().contains("internal"));
+    }
+
+    #[test]
+    fn divergence_display_names_wires_and_cycle() {
+        let e = SimError::Divergence(Box::new(DivergenceInfo {
+            step: 3,
+            iters: 1001,
+            limit: 1000,
+            oscillating: vec![OscillatingWire {
+                edge: 7,
+                wire: "data",
+                src: "a".into(),
+                dst: "b".into(),
+                flips: 12,
+            }],
+            cycle: vec!["a".into(), "b".into()],
+        }));
+        let s = e.to_string();
+        assert!(s.contains("edge 7"), "{s}");
+        assert!(s.contains("data"), "{s}");
+        assert!(s.contains("a -> b"), "{s}");
+        assert!(e.as_divergence().is_some());
+        assert!(e.as_panic().is_none());
+    }
+
+    #[test]
+    fn panic_display_names_instance_and_step() {
+        let e = SimError::Panic(Box::new(PanicInfo {
+            instance: "q0".into(),
+            step: 9,
+            message: "boom".into(),
+        }));
+        let s = e.to_string();
+        assert!(
+            s.contains("q0") && s.contains('9') && s.contains("boom"),
+            "{s}"
+        );
+        assert!(e.as_panic().is_some());
     }
 }

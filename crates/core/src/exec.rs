@@ -27,17 +27,19 @@
 //! are re-queued. They reach the same fixed point; they differ only in
 //! handler re-invocation counts.
 
-use crate::error::SimError;
+use crate::error::{DivergenceInfo, OscillatingWire, PanicInfo, SimError};
+use crate::fault::{apply_fault, wire_idx, ActiveFaults, CompiledFaults, FailurePolicy, FaultPlan};
 use crate::module::{Dir, Module, PortId};
 use crate::netlist::{EdgeId, InstanceId, Netlist};
 use crate::probe::{Probe, ResolvedBy, TracerProbe};
 use crate::sched::RankQueue;
-use crate::signal::{Res, SignalState, Wire, WriteOutcome};
+use crate::signal::{Res, Wire, WireWrite, WriteOutcome};
 use crate::stats::{Stats, StatsReport};
 use crate::store::SignalStore;
 use crate::topology::{InstanceInfo, Topology};
 use crate::value::Value;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 pub use crate::probe::Tracer;
@@ -66,6 +68,35 @@ pub struct EngineMetrics {
     pub commits: u64,
     /// Wires resolved by the default control semantics.
     pub defaults: u64,
+    /// Fault activations applied by an installed [`FaultPlan`] (one per
+    /// active plan entry per step).
+    pub faults_injected: u64,
+    /// Instances isolated by [`FailurePolicy::Quarantine`] so far.
+    pub quarantines: u64,
+}
+
+/// Per-run resilience state: only allocated once a fault plan, watchdog
+/// or failure policy is installed — a plain simulator carries a single
+/// `None` and the monomorphized hot path never looks at it.
+struct ResilState {
+    plan: Option<CompiledFaults>,
+    policy: FailurePolicy,
+    /// Watchdog budget: max `react` invocations per step. Setting it also
+    /// switches writes to the oscillation-tolerant mode so cyclically
+    /// inconsistent specs iterate (and get diagnosed) instead of dying on
+    /// the first non-monotonic write.
+    max_iters: Option<u64>,
+    quarantined: Vec<bool>,
+    /// Faults active in the current step (rebuilt at step begin).
+    active: ActiveFaults,
+    /// `react` invocations consumed this step (the watchdog's clock).
+    iters: u64,
+    /// Per-(edge, wire) conflicting re-resolutions this step.
+    osc: BTreeMap<(u32, u8), u64>,
+    /// Quarantines performed this step, flushed to the probe in
+    /// instance-id order at step end (keeps probe streams byte-identical
+    /// across schedulers).
+    pending_q: Vec<(u32, String)>,
 }
 
 /// Reusable worklist storage shared by the reaction and default phases.
@@ -94,6 +125,9 @@ pub struct Simulator {
     active: Vec<bool>,
     /// Cumulative per-edge completed-transfer counts.
     transfer_counts: Vec<u64>,
+    /// Fault-injection / watchdog / quarantine state; `None` (the
+    /// default) keeps the hot path on the fault-free monomorphization.
+    resil: Option<Box<ResilState>>,
 }
 
 impl Simulator {
@@ -143,7 +177,75 @@ impl Simulator {
             wake_buf: Vec::new(),
             active: vec![false; n],
             transfer_counts: vec![0; n_edges],
+            resil: None,
             topo,
+        }
+    }
+
+    fn resil_mut(&mut self) -> &mut ResilState {
+        let n = self.topo.instance_count();
+        self.resil.get_or_insert_with(|| {
+            Box::new(ResilState {
+                plan: None,
+                policy: FailurePolicy::default(),
+                max_iters: None,
+                quarantined: vec![false; n],
+                active: ActiveFaults::default(),
+                iters: 0,
+                osc: BTreeMap::new(),
+                pending_q: Vec::new(),
+            })
+        })
+    }
+
+    /// Install a fault plan (compiled to per-step schedules). Subsequent
+    /// steps inject the plan's faults; combine with
+    /// [`Simulator::set_failure_policy`] to survive the induced handler
+    /// failures and with [`Simulator::set_watchdog`] to bound divergence.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let n = self.topo.instance_count();
+        self.resil_mut().plan = Some(plan.compile(n));
+    }
+
+    /// What happens when a module handler panics or errors during a
+    /// resilient run (default: [`FailurePolicy::Abort`]). Calling this
+    /// (with either policy) opts the run into `catch_unwind` around
+    /// handlers, so even `Abort` turns a raw panic into a structured
+    /// [`SimError::Panic`].
+    pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
+        self.resil_mut().policy = policy;
+    }
+
+    /// Bound the reaction phase to `max_iters` `react` invocations per
+    /// step. Enabling the watchdog also switches module writes to the
+    /// oscillation-tolerant mode: a non-monotonic write re-resolves the
+    /// wire and re-wakes its readers instead of erroring, so a cyclically
+    /// inconsistent specification iterates until the budget runs out and
+    /// then fails with [`SimError::Divergence`] naming the oscillating
+    /// wires.
+    pub fn set_watchdog(&mut self, max_iters: u64) {
+        self.resil_mut().max_iters = Some(max_iters.max(1));
+    }
+
+    /// True when `inst` has been quarantined by
+    /// [`FailurePolicy::Quarantine`].
+    pub fn is_quarantined(&self, inst: InstanceId) -> bool {
+        self.resil
+            .as_ref()
+            .is_some_and(|r| r.quarantined.get(inst.0 as usize).copied().unwrap_or(false))
+    }
+
+    /// The instances quarantined so far, in id order.
+    pub fn quarantined_instances(&self) -> Vec<InstanceId> {
+        match &self.resil {
+            None => Vec::new(),
+            Some(r) => r
+                .quarantined
+                .iter()
+                .enumerate()
+                .filter(|(_, &q)| q)
+                .map(|(i, _)| InstanceId(i as u32))
+                .collect(),
         }
     }
 
@@ -256,15 +358,80 @@ impl Simulator {
             p.step_begin(self.now);
         }
         self.store.begin_step(); // O(1): epoch bump, no per-edge sweep
+        let resilient = self.resil.is_some();
+        if resilient {
+            self.begin_resilient_step();
+        }
         self.reaction_phase()?;
         self.default_phase()?;
-        self.commit_phase()?;
+        if resilient {
+            self.commit_phase::<true>()?;
+            self.flush_quarantine_events();
+        } else {
+            self.commit_phase::<false>()?;
+        }
         if let Some(p) = self.probe.as_deref_mut() {
             p.step_end(self.now);
         }
         self.metrics.steps += 1;
         self.now += 1;
         Ok(())
+    }
+
+    /// Reset the watchdog clock, build this step's active-fault table and
+    /// report the injections to the probe — in sorted `(edge, wire)` /
+    /// instance order, so the event stream is scheduler-independent.
+    fn begin_resilient_step(&mut self) {
+        let now = self.now;
+        let Simulator {
+            probe,
+            resil,
+            metrics,
+            ..
+        } = self;
+        let rs = resil.as_deref_mut().expect("resilient step without state");
+        rs.iters = 0;
+        rs.osc.clear();
+        let ResilState { plan, active, .. } = &mut *rs;
+        match plan {
+            Some(plan) => plan.activate(now, active),
+            None => active.clear(),
+        }
+        if active.is_empty() {
+            return;
+        }
+        metrics.faults_injected +=
+            (active.signals.len() + active.panics.len() + active.latency.len()) as u64;
+        if let Some(p) = probe.as_deref_mut() {
+            for &(edge, widx, kind) in &active.signals {
+                p.fault_injected(now, EdgeId(edge), wire_from_idx(widx), kind);
+            }
+            for &i in &active.panics {
+                p.instance_fault(now, InstanceId(i), "panic");
+            }
+            for &(i, _) in &active.latency {
+                p.instance_fault(now, InstanceId(i), "latency");
+            }
+        }
+    }
+
+    /// Report this step's quarantines in instance-id order (they are
+    /// discovered in scheduler-dependent order during the phases).
+    fn flush_quarantine_events(&mut self) {
+        let now = self.now;
+        let Simulator { probe, resil, .. } = self;
+        let rs = resil.as_deref_mut().expect("resilient step without state");
+        if rs.pending_q.is_empty() {
+            return;
+        }
+        rs.pending_q.sort_by_key(|q| q.0);
+        if let Some(p) = probe.as_deref_mut() {
+            for (i, reason) in rs.pending_q.drain(..) {
+                p.quarantined(now, InstanceId(i), &reason);
+            }
+        } else {
+            rs.pending_q.clear();
+        }
     }
 
     /// Run the reaction phase from a full seed (every instance queued).
@@ -320,18 +487,33 @@ impl Simulator {
 
     /// Drain the worklist to quiescence, waking CSR readers of each newly
     /// resolved wire. All three schedulers flow through here. The probe
-    /// check is hoisted out of the hot loop: the loop body is
-    /// monomorphized on probe presence, so the probe-off path contains no
-    /// per-invocation probe code at all.
+    /// and resilience checks are hoisted out of the hot loop: the loop
+    /// body is monomorphized on both, so the plain (probe-off, fault-off)
+    /// path contains no per-invocation probe or fault code at all.
     fn drain(&mut self, work: &mut WorkState) -> Result<(), SimError> {
-        if self.probe.is_some() {
-            self.drain_impl::<true>(work)
-        } else {
-            self.drain_impl::<false>(work)
+        let r = match (self.probe.is_some(), self.resil.is_some()) {
+            (false, false) => self.drain_impl::<false, false>(work),
+            (true, false) => self.drain_impl::<true, false>(work),
+            (false, true) => self.drain_impl::<false, true>(work),
+            (true, true) => self.drain_impl::<true, true>(work),
+        };
+        if r.is_err() {
+            // Leave the worklist reusable after a structured failure
+            // (divergence / abort) so a later step cannot observe stale
+            // queue entries.
+            work.fifo.clear();
+            work.queued.fill(false);
+            if let Some(q) = work.ranked.as_mut() {
+                q.reset();
+            }
         }
+        r
     }
 
-    fn drain_impl<const PROBED: bool>(&mut self, work: &mut WorkState) -> Result<(), SimError> {
+    fn drain_impl<const PROBED: bool, const RESIL: bool>(
+        &mut self,
+        work: &mut WorkState,
+    ) -> Result<(), SimError> {
         let Simulator {
             topo,
             modules,
@@ -342,6 +524,7 @@ impl Simulator {
             metrics,
             probe,
             wake_buf,
+            resil,
             ..
         } = self;
         let topo: &Topology = topo;
@@ -354,8 +537,8 @@ impl Simulator {
                 let mut progressed = false;
                 for i in 0..topo.instance_count() {
                     newly.clear();
-                    react_one::<PROBED>(
-                        topo, modules, store, stats, metrics, *now, i, &mut newly, probe,
+                    react_one::<PROBED, RESIL>(
+                        topo, modules, store, stats, metrics, *now, i, &mut newly, probe, resil,
                     )?;
                     if !newly.is_empty() {
                         progressed = true;
@@ -369,8 +552,9 @@ impl Simulator {
                 while let Some(i) = work.fifo.pop_front() {
                     work.queued[i as usize] = false;
                     newly.clear();
-                    react_one::<PROBED>(
+                    react_one::<PROBED, RESIL>(
                         topo, modules, store, stats, metrics, *now, i as usize, &mut newly, probe,
+                        resil,
                     )?;
                     for (e, wire) in newly.drain(..) {
                         for &t in topo.readers(wire, e) {
@@ -387,8 +571,9 @@ impl Simulator {
                 let q = work.ranked.as_mut().expect("static rank queue");
                 while let Some(i) = q.pop() {
                     newly.clear();
-                    react_one::<PROBED>(
+                    react_one::<PROBED, RESIL>(
                         topo, modules, store, stats, metrics, *now, i as usize, &mut newly, probe,
+                        resil,
                     )?;
                     for (e, wire) in newly.drain(..) {
                         for &t in topo.readers(wire, e) {
@@ -450,8 +635,11 @@ impl Simulator {
 
     /// Commit with activity tracking: gated instances commit only when
     /// they were an endpoint of a completed transfer or report pending
-    /// internal state; everyone else commits unconditionally.
-    fn commit_phase(&mut self) -> Result<(), SimError> {
+    /// internal state; everyone else commits unconditionally. With
+    /// `RESIL`, quarantined instances are skipped, handler failures go
+    /// through the failure policy, and the transfer list is repaired
+    /// first in case oscillation-tolerant writes dirtied it.
+    fn commit_phase<const RESIL: bool>(&mut self) -> Result<(), SimError> {
         let Simulator {
             topo,
             modules,
@@ -462,64 +650,178 @@ impl Simulator {
             probe,
             active,
             transfer_counts,
+            resil,
             ..
         } = self;
         let topo: &Topology = topo;
+        if RESIL {
+            store.finalize_transfers();
+        }
         for &e in store.transfers() {
             let em = topo.edge_meta(e);
             active[em.src.inst.0 as usize] = true;
             active[em.dst.inst.0 as usize] = true;
             transfer_counts[e.0 as usize] += 1;
         }
-        for (i, module) in modules.iter_mut().enumerate() {
-            if topo.commit_gated(i) && !active[i] && !module.pending() {
-                continue;
+        let result = (|| {
+            for (i, module) in modules.iter_mut().enumerate() {
+                if RESIL {
+                    let rs = resil.as_deref_mut().expect("resilient commit state");
+                    if rs.quarantined[i] {
+                        continue;
+                    }
+                }
+                if topo.commit_gated(i) && !active[i] && !module.pending() {
+                    continue;
+                }
+                metrics.commits += 1;
+                let inst = InstanceId(i as u32);
+                if let Some(p) = probe.as_deref_mut() {
+                    p.commit_enter(*now, inst);
+                }
+                let mut ctx = CommitCtx {
+                    inst,
+                    info: topo.instance(inst),
+                    store,
+                    stats,
+                    now: *now,
+                };
+                let r: Result<Result<(), SimError>, String> = if RESIL {
+                    match catch_unwind(AssertUnwindSafe(|| module.commit(&mut ctx))) {
+                        Ok(r) => Ok(r),
+                        Err(payload) => Err(panic_message(payload)),
+                    }
+                } else {
+                    Ok(module.commit(&mut ctx))
+                };
+                match r {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        if RESIL {
+                            let rs = resil.as_deref_mut().expect("resilient commit state");
+                            if rs.policy == FailurePolicy::Quarantine {
+                                quarantine(rs, metrics, i, format!("commit error: {e}"));
+                                continue;
+                            }
+                        }
+                        return Err(e);
+                    }
+                    Err(msg) => {
+                        let rs = resil.as_deref_mut().expect("resilient commit state");
+                        if rs.policy == FailurePolicy::Quarantine {
+                            quarantine(rs, metrics, i, format!("commit panic: {msg}"));
+                            continue;
+                        }
+                        return Err(SimError::Panic(Box::new(PanicInfo {
+                            instance: topo.name(inst).to_owned(),
+                            step: *now,
+                            message: msg,
+                        })));
+                    }
+                }
+                if let Some(p) = probe.as_deref_mut() {
+                    p.commit_exit(*now, inst);
+                }
             }
-            metrics.commits += 1;
-            let inst = InstanceId(i as u32);
             if let Some(p) = probe.as_deref_mut() {
-                p.commit_enter(*now, inst);
+                // Sort a copy by edge id so trace output is deterministic
+                // across schedulers (the set is; the resolution order is
+                // not).
+                let mut edges: Vec<EdgeId> = store.transfers().to_vec();
+                edges.sort_unstable_by_key(|e| e.0);
+                for e in edges {
+                    let em = topo.edge_meta(e);
+                    let Some(v) = store.transferred(e) else {
+                        return Err(SimError::internal(format!(
+                            "transfer list entry for edge {} has an incomplete handshake",
+                            e.0
+                        )));
+                    };
+                    p.transfer(*now, e, topo.name(em.src.inst), topo.name(em.dst.inst), v);
+                }
             }
-            let mut ctx = CommitCtx {
-                inst,
-                info: topo.instance(inst),
-                store,
-                stats,
-                now: *now,
-            };
-            module.commit(&mut ctx)?;
-            if let Some(p) = probe.as_deref_mut() {
-                p.commit_exit(*now, inst);
-            }
-        }
-        if let Some(p) = probe.as_deref_mut() {
-            // Sort a copy by edge id so trace output is deterministic
-            // across schedulers (the set is; the resolution order is not).
-            let mut edges: Vec<EdgeId> = store.transfers().to_vec();
-            edges.sort_unstable_by_key(|e| e.0);
-            for e in edges {
-                let em = topo.edge_meta(e);
-                let v = store.transferred(e).expect("recorded transfer");
-                p.transfer(*now, e, topo.name(em.src.inst), topo.name(em.dst.inst), v);
-            }
-        }
+            Ok(())
+        })();
         // Clear flags by walking the same transfer list: cost stays
-        // proportional to activity, not to instance count.
+        // proportional to activity, not to instance count. Runs even on
+        // the error path so a failed step cannot poison the next one.
         for &e in store.transfers() {
             let em = topo.edge_meta(e);
             active[em.src.inst.0 as usize] = false;
             active[em.dst.inst.0 as usize] = false;
         }
-        Ok(())
+        result
     }
+}
+
+/// Extract a readable message from a caught panic payload.
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+fn wire_from_idx(widx: u8) -> Wire {
+    match widx {
+        0 => Wire::Data,
+        1 => Wire::Enable,
+        _ => Wire::Ack,
+    }
+}
+
+/// Isolate instance `i` for the rest of the run (idempotent).
+fn quarantine(rs: &mut ResilState, metrics: &mut EngineMetrics, i: usize, reason: String) {
+    if !rs.quarantined[i] {
+        rs.quarantined[i] = true;
+        metrics.quarantines += 1;
+        rs.pending_q.push((i as u32, reason));
+    }
+}
+
+/// Build the structured divergence report from the watchdog state: every
+/// oscillating wire with its endpoints and flip count, plus the instance
+/// cycle, in deterministic order.
+fn divergence_error(topo: &Topology, rs: &ResilState, now: u64) -> SimError {
+    let mut oscillating = Vec::new();
+    let mut insts: Vec<u32> = Vec::new();
+    for (&(edge, widx), &flips) in &rs.osc {
+        let em = topo.edge_meta(EdgeId(edge));
+        oscillating.push(OscillatingWire {
+            edge,
+            wire: ["data", "enable", "ack"][widx as usize],
+            src: topo.name(em.src.inst).to_owned(),
+            dst: topo.name(em.dst.inst).to_owned(),
+            flips,
+        });
+        insts.push(em.src.inst.0);
+        insts.push(em.dst.inst.0);
+    }
+    insts.sort_unstable();
+    insts.dedup();
+    let cycle = insts
+        .into_iter()
+        .map(|i| topo.name(InstanceId(i)).to_owned())
+        .collect();
+    SimError::Divergence(Box::new(DivergenceInfo {
+        step: now,
+        iters: rs.iters,
+        limit: rs.max_iters.unwrap_or(0),
+        oscillating,
+        cycle,
+    }))
 }
 
 /// Invoke one instance's `react` handler with a context over the shared
 /// store (free function so callers can borrow disjoint simulator fields).
-/// Monomorphized on probe presence: with `PROBED = false` the probe
-/// branches compile away entirely.
+/// Monomorphized on probe presence and resilience: with
+/// `PROBED = RESIL = false` neither the probe branches nor the fault /
+/// watchdog / quarantine machinery exist in the generated code.
 #[allow(clippy::too_many_arguments)]
-fn react_one<const PROBED: bool>(
+fn react_one<const PROBED: bool, const RESIL: bool>(
     topo: &Topology,
     modules: &mut [Box<dyn Module>],
     store: &mut SignalStore,
@@ -529,34 +831,109 @@ fn react_one<const PROBED: bool>(
     i: usize,
     newly: &mut Vec<(EdgeId, Wire)>,
     probe: &mut Option<&mut (dyn Probe + 'static)>,
+    resil: &mut Option<Box<ResilState>>,
 ) -> Result<(), SimError> {
-    metrics.reacts += 1;
     let inst = InstanceId(i as u32);
-    if PROBED {
-        if let Some(p) = probe.as_deref_mut() {
-            p.react_enter(now, inst);
+    let mut forced_panic = false;
+    if RESIL {
+        let rs = resil.as_deref_mut().expect("resilient react state");
+        if rs.quarantined[i] {
+            return Ok(()); // isolated: its ports live on the defaults
         }
-    }
-    let r = {
-        let mut ctx = ReactCtx {
-            inst,
-            info: topo.instance(inst),
-            store,
-            stats,
-            newly,
-            now,
-        };
-        modules[i].react(&mut ctx)
-    };
-    if PROBED {
-        if let Some(p) = probe.as_deref_mut() {
-            for &(e, wire) in newly.iter() {
-                emit_resolved(p, store, now, e, wire, ResolvedBy::Module(inst));
+        rs.iters += 1;
+        if let Some(max) = rs.max_iters {
+            if rs.iters > max {
+                return Err(divergence_error(topo, rs, now));
             }
-            p.react_exit(now, inst);
+        }
+        forced_panic = rs.active.panics(i as u32);
+        if !forced_panic {
+            if let Some(us) = rs.active.latency_us(i as u32) {
+                std::thread::sleep(std::time::Duration::from_micros(us));
+            }
         }
     }
-    r
+    // The handler's verdict: Ok(handler result) or Err(panic message).
+    // A plan-injected panic fires at entry of the instance's first react
+    // of the step, before any partial writes — scheduler-independent.
+    let caught: Result<Result<(), SimError>, String> = if RESIL && forced_panic {
+        Err("injected panic (fault plan)".to_owned())
+    } else {
+        metrics.reacts += 1;
+        if PROBED {
+            if let Some(p) = probe.as_deref_mut() {
+                p.react_enter(now, inst);
+            }
+        }
+        let r: Result<Result<(), SimError>, String> = if RESIL {
+            let rs = resil.as_deref_mut().expect("resilient react state");
+            let seed = rs.plan.as_ref().map_or(0, |p| p.seed);
+            let tolerant = rs.max_iters.is_some();
+            let ResilState { active, osc, .. } = &mut *rs;
+            let faults = (!active.signals.is_empty()).then_some((&*active, seed));
+            let mut ctx = ReactCtx {
+                inst,
+                info: topo.instance(inst),
+                store,
+                stats,
+                newly,
+                now,
+                faults,
+                osc: if tolerant { Some(osc) } else { None },
+            };
+            match catch_unwind(AssertUnwindSafe(|| modules[i].react(&mut ctx))) {
+                Ok(r) => Ok(r),
+                Err(payload) => Err(panic_message(payload)),
+            }
+        } else {
+            let mut ctx = ReactCtx {
+                inst,
+                info: topo.instance(inst),
+                store,
+                stats,
+                newly,
+                now,
+                faults: None,
+                osc: None,
+            };
+            Ok(modules[i].react(&mut ctx))
+        };
+        if PROBED {
+            if let Some(p) = probe.as_deref_mut() {
+                for &(e, wire) in newly.iter() {
+                    emit_resolved(p, store, now, e, wire, ResolvedBy::Module(inst));
+                }
+                p.react_exit(now, inst);
+            }
+        }
+        r
+    };
+    match caught {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(e)) => {
+            if RESIL {
+                let rs = resil.as_deref_mut().expect("resilient react state");
+                if rs.policy == FailurePolicy::Quarantine {
+                    quarantine(rs, metrics, i, format!("react error: {e}"));
+                    return Ok(());
+                }
+            }
+            Err(e)
+        }
+        Err(msg) => {
+            let rs = resil.as_deref_mut().expect("resilient react state");
+            if rs.policy == FailurePolicy::Quarantine {
+                quarantine(rs, metrics, i, format!("react panic: {msg}"));
+                Ok(())
+            } else {
+                Err(SimError::Panic(Box::new(PanicInfo {
+                    instance: topo.name(inst).to_owned(),
+                    step: now,
+                    message: msg,
+                })))
+            }
+        }
+    }
 }
 
 /// Report one newly resolved wire to a probe, reading its final value
@@ -588,6 +965,12 @@ pub struct ReactCtx<'a> {
     stats: &'a mut Stats,
     newly: &'a mut Vec<(EdgeId, Wire)>,
     now: u64,
+    /// Active fault table and plan seed; `None` on the fault-off path
+    /// (and when this step has no active signal faults).
+    faults: Option<(&'a ActiveFaults, u64)>,
+    /// Oscillation counters; `Some` switches writes to the tolerant mode
+    /// (watchdog enabled).
+    osc: Option<&'a mut BTreeMap<(u32, u8), u64>>,
 }
 
 impl<'a> ReactCtx<'a> {
@@ -666,18 +1049,42 @@ impl<'a> ReactCtx<'a> {
         })
     }
 
-    fn write(
-        &mut self,
-        port: PortId,
-        index: usize,
-        wire: Wire,
-        f: impl FnOnce(&mut SignalState) -> Result<WriteOutcome, SimError>,
-    ) -> Result<(), SimError> {
+    /// The single write choke point: every module wire drive funnels
+    /// through here as a [`WireWrite`] value, so an active fault can
+    /// transform (or swallow) it in flight before it reaches the store.
+    /// Kernel default-semantics writes do not pass through this path and
+    /// are never faulted.
+    fn write(&mut self, port: PortId, index: usize, w: WireWrite) -> Result<(), SimError> {
         let Some(e) = self.edge(port, index) else {
             return Ok(()); // unconnected: silently accepted (partial spec)
         };
-        match self.store.write_with(e, f) {
+        let wire = w.wire();
+        let w = match &self.faults {
+            None => w,
+            Some((active, seed)) => match active.signal(e.0, wire) {
+                None => w,
+                Some(kind) => match apply_fault(kind, w, e.0, self.now, *seed) {
+                    Some(w) => w,
+                    None => return Ok(()), // dropped on the wire
+                },
+            },
+        };
+        let result = match &self.osc {
+            None => self.store.write(e, w),
+            Some(_) => self.store.write_tolerant(e, w),
+        };
+        match result {
             Ok(WriteOutcome::NewlyResolved) => {
+                self.newly.push((e, wire));
+                Ok(())
+            }
+            Ok(WriteOutcome::Oscillated) => {
+                if let Some(osc) = self.osc.as_deref_mut() {
+                    *osc.entry((e.0, wire_idx(wire))).or_insert(0) += 1;
+                }
+                // Re-woken like a fresh resolution: the re-resolved value
+                // must propagate to readers (and the watchdog bounds the
+                // resulting iteration).
                 self.newly.push((e, wire));
                 Ok(())
             }
@@ -693,8 +1100,8 @@ impl<'a> ReactCtx<'a> {
     /// `Yes` together (the common case).
     pub fn send(&mut self, port: PortId, index: usize, v: Value) -> Result<(), SimError> {
         self.check_dir(port, Dir::Out)?;
-        self.write(port, index, Wire::Data, |s| s.write_data(Res::Yes(v)))?;
-        self.write(port, index, Wire::Enable, |s| s.write_enable(Res::Yes(())))
+        self.write(port, index, WireWrite::Data(Res::Yes(v)))?;
+        self.write(port, index, WireWrite::Enable(Res::Yes(())))
     }
 
     /// Explicitly send nothing on an output connection this time-step:
@@ -702,22 +1109,22 @@ impl<'a> ReactCtx<'a> {
     /// connected output rather than leaving it to the defaults.
     pub fn send_nothing(&mut self, port: PortId, index: usize) -> Result<(), SimError> {
         self.check_dir(port, Dir::Out)?;
-        self.write(port, index, Wire::Data, |s| s.write_data(Res::No))?;
-        self.write(port, index, Wire::Enable, |s| s.write_enable(Res::No))
+        self.write(port, index, WireWrite::Data(Res::No))?;
+        self.write(port, index, WireWrite::Enable(Res::No))
     }
 
     /// Drive only the data wire (control-split protocols that decide enable
     /// separately).
     pub fn set_data(&mut self, port: PortId, index: usize, v: Res<Value>) -> Result<(), SimError> {
         self.check_dir(port, Dir::Out)?;
-        self.write(port, index, Wire::Data, |s| s.write_data(v))
+        self.write(port, index, WireWrite::Data(v))
     }
 
     /// Drive only the enable wire.
     pub fn set_enable(&mut self, port: PortId, index: usize, en: bool) -> Result<(), SimError> {
         self.check_dir(port, Dir::Out)?;
         let r = if en { Res::Yes(()) } else { Res::No };
-        self.write(port, index, Wire::Enable, |s| s.write_enable(r))
+        self.write(port, index, WireWrite::Enable(r))
     }
 
     /// Drive the ack wire of an input connection: accept (`true`) or
@@ -725,7 +1132,7 @@ impl<'a> ReactCtx<'a> {
     pub fn set_ack(&mut self, port: PortId, index: usize, accept: bool) -> Result<(), SimError> {
         self.check_dir(port, Dir::In)?;
         let r = if accept { Res::Yes(()) } else { Res::No };
-        self.write(port, index, Wire::Ack, |s| s.write_ack(r))
+        self.write(port, index, WireWrite::Ack(r))
     }
 
     /// Add to one of this instance's counters.

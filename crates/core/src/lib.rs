@@ -69,6 +69,7 @@
 
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod module;
 pub mod netlist;
 pub mod params;
@@ -86,8 +87,11 @@ pub mod vcd;
 
 /// Convenience re-exports for module and system authors.
 pub mod prelude {
-    pub use crate::error::SimError;
+    pub use crate::error::{DivergenceInfo, OscillatingWire, PanicInfo, SimError};
     pub use crate::exec::{CommitCtx, EngineMetrics, ReactCtx, SchedKind, Simulator, Tracer};
+    pub use crate::fault::{
+        FailurePolicy, FaultKind, FaultPlan, InstFaultKind, InstanceFault, SignalFault,
+    };
     pub use crate::module::{Dir, Module, ModuleSpec, PortId, PortSpec};
     pub use crate::netlist::{EdgeId, Endpoint, InstanceId, Netlist, NetlistBuilder};
     pub use crate::params::{ParamValue, Params};
@@ -96,7 +100,7 @@ pub mod prelude {
     };
     pub use crate::profile::{ProfileHandle, ProfileProbe, ProfileReport, Profiler};
     pub use crate::registry::{Instantiated, Registry, Template};
-    pub use crate::signal::{Res, SignalState, Wire, WriteOutcome};
+    pub use crate::signal::{Res, SignalState, Wire, WireWrite, WriteOutcome};
     pub use crate::stats::{Histogram, Sample, Stats, StatsReport};
     pub use crate::store::SignalStore;
     pub use crate::topology::{InstanceInfo, Topology};

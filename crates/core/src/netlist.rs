@@ -153,9 +153,21 @@ impl NetlistBuilder {
         dst: InstanceId,
         dst_port: &str,
     ) -> Result<EdgeId, SimError> {
-        let sp = self.instances[src.0 as usize].spec.port(src_port)?;
-        let dp = self.instances[dst.0 as usize].spec.port(dst_port)?;
+        let sp = self.instance_meta(src)?.spec.port(src_port)?;
+        let dp = self.instance_meta(dst)?.spec.port(dst_port)?;
         self.connect_ids(src, sp, dst, dp)
+    }
+
+    /// Bounds-checked instance access: a stale or foreign `InstanceId` is
+    /// a caller bug, reported as a netlist error rather than a panic.
+    fn instance_meta(&self, id: InstanceId) -> Result<&InstanceMeta, SimError> {
+        self.instances.get(id.0 as usize).ok_or_else(|| {
+            SimError::netlist(format!(
+                "instance id {} out of range ({} instances)",
+                id.0,
+                self.instances.len()
+            ))
+        })
     }
 
     /// [`NetlistBuilder::connect`] with pre-resolved port ids.
@@ -166,8 +178,20 @@ impl NetlistBuilder {
         dst: InstanceId,
         dst_port: PortId,
     ) -> Result<EdgeId, SimError> {
+        let port_of = |m: &InstanceMeta, p: PortId| -> Result<(), SimError> {
+            if (p.0 as usize) >= m.spec.ports.len() {
+                return Err(SimError::netlist(format!(
+                    "{}: port id {} out of range ({} ports)",
+                    m.name,
+                    p.0,
+                    m.spec.ports.len()
+                )));
+            }
+            Ok(())
+        };
         {
-            let sm = &self.instances[src.0 as usize];
+            let sm = self.instance_meta(src)?;
+            port_of(sm, src_port)?;
             let ps = sm.spec.port_spec(src_port);
             if ps.dir != Dir::Out {
                 return Err(SimError::netlist(format!(
@@ -177,7 +201,8 @@ impl NetlistBuilder {
             }
         }
         {
-            let dm = &self.instances[dst.0 as usize];
+            let dm = self.instance_meta(dst)?;
+            port_of(dm, dst_port)?;
             let pd = dm.spec.port_spec(dst_port);
             if pd.dir != Dir::In {
                 return Err(SimError::netlist(format!(
@@ -274,6 +299,21 @@ mod tests {
         let mut b = NetlistBuilder::new();
         b.add("x", spec_src(), Box::new(Nop)).unwrap();
         assert!(b.add("x", spec_src(), Box::new(Nop)).is_err());
+    }
+
+    #[test]
+    fn out_of_range_ids_are_errors_not_panics() {
+        let mut b = NetlistBuilder::new();
+        let s = b.add("s", spec_src(), Box::new(Nop)).unwrap();
+        let k = b.add("k", spec_sink(), Box::new(Nop)).unwrap();
+        let bogus = InstanceId(99);
+        assert!(b.connect(bogus, "out", k, "in").is_err());
+        assert!(b.connect(s, "out", bogus, "in").is_err());
+        assert!(b.connect_ids(s, PortId(7), k, PortId(0)).is_err());
+        assert!(b.connect_ids(s, PortId(0), k, PortId(7)).is_err());
+        // The builder is still usable after the rejected calls.
+        b.connect(s, "out", k, "in").unwrap();
+        assert!(b.build().is_ok());
     }
 
     #[test]

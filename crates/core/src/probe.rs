@@ -27,6 +27,7 @@
 //! probe code per handler invocation — see the probe-overhead table in
 //! `docs/OBSERVABILITY.md`.
 
+use crate::fault::FaultKind;
 use crate::netlist::{EdgeId, InstanceId};
 use crate::signal::Wire;
 use crate::topology::Topology;
@@ -88,6 +89,20 @@ pub trait Probe: Send {
     /// A three-way handshake completed on `edge` this step (reported in
     /// edge-id order at the end of the commit phase).
     fn transfer(&mut self, now: u64, edge: EdgeId, src: &str, dst: &str, value: &Value) {}
+
+    /// A wire-level fault from the installed fault plan is active on
+    /// `(edge, wire)` this step (reported at step begin, in `(edge,
+    /// wire)` order).
+    fn fault_injected(&mut self, now: u64, edge: EdgeId, wire: Wire, kind: FaultKind) {}
+
+    /// An instance-level fault (`"panic"` or `"latency"`) is active on
+    /// `inst` this step (reported at step begin, in instance-id order).
+    fn instance_fault(&mut self, now: u64, inst: InstanceId, kind: &str) {}
+
+    /// `inst` was isolated by the quarantine policy; its handlers will
+    /// not run again and its ports fall back to the default control
+    /// semantics (reported at step end, in instance-id order).
+    fn quarantined(&mut self, now: u64, inst: InstanceId, reason: &str) {}
 }
 
 /// Observer of completed transfers only — the original, narrow tracing
@@ -208,6 +223,21 @@ impl Probe for MultiProbe {
             p.transfer(now, edge, src, dst, value);
         }
     }
+    fn fault_injected(&mut self, now: u64, edge: EdgeId, wire: Wire, kind: FaultKind) {
+        for p in &mut self.probes {
+            p.fault_injected(now, edge, wire, kind);
+        }
+    }
+    fn instance_fault(&mut self, now: u64, inst: InstanceId, kind: &str) {
+        for p in &mut self.probes {
+            p.instance_fault(now, inst, kind);
+        }
+    }
+    fn quarantined(&mut self, now: u64, inst: InstanceId, reason: &str) {
+        for p in &mut self.probes {
+            p.quarantined(now, inst, reason);
+        }
+    }
 }
 
 /// Event counters, shared through [`ProbeCountsHandle`]. The cheapest
@@ -228,6 +258,10 @@ pub struct ProbeCounts {
     pub defaults: u64,
     /// `transfer` events seen.
     pub transfers: u64,
+    /// `fault_injected` + `instance_fault` events seen.
+    pub faults: u64,
+    /// `quarantined` events seen.
+    pub quarantines: u64,
 }
 
 /// Counting probe; create with [`CountingProbe::new`].
@@ -288,6 +322,15 @@ impl Probe for CountingProbe {
     }
     fn transfer(&mut self, _now: u64, _edge: EdgeId, _src: &str, _dst: &str, _value: &Value) {
         self.counts.lock().expect("probe counts lock").transfers += 1;
+    }
+    fn fault_injected(&mut self, _now: u64, _edge: EdgeId, _wire: Wire, _kind: FaultKind) {
+        self.counts.lock().expect("probe counts lock").faults += 1;
+    }
+    fn instance_fault(&mut self, _now: u64, _inst: InstanceId, _kind: &str) {
+        self.counts.lock().expect("probe counts lock").faults += 1;
+    }
+    fn quarantined(&mut self, _now: u64, _inst: InstanceId, _reason: &str) {
+        self.counts.lock().expect("probe counts lock").quarantines += 1;
     }
 }
 

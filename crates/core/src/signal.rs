@@ -77,6 +77,34 @@ pub enum WriteOutcome {
     NewlyResolved,
     /// The wire was already resolved to an equal value; no-op.
     Idempotent,
+    /// Oscillation-tolerant mode only: the wire was already resolved to a
+    /// *different* value and has been re-resolved to the new one. Readers
+    /// must be re-woken; the convergence watchdog counts these.
+    Oscillated,
+}
+
+/// A wire write as a value (rather than a closure), so the kernel can
+/// inspect and transform it in flight — the interception point for
+/// handshake-level fault injection.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireWrite {
+    /// Drive the data wire.
+    Data(Res<Value>),
+    /// Drive the enable wire.
+    Enable(Res<()>),
+    /// Drive the ack wire.
+    Ack(Res<()>),
+}
+
+impl WireWrite {
+    /// Which of the three wires this write targets.
+    pub fn wire(&self) -> Wire {
+        match self {
+            WireWrite::Data(_) => Wire::Data,
+            WireWrite::Enable(_) => Wire::Enable,
+            WireWrite::Ack(_) => Wire::Ack,
+        }
+    }
 }
 
 impl SignalState {
@@ -118,6 +146,30 @@ impl SignalState {
         Self::write_wire(&mut self.ack, v, Wire::Ack)
     }
 
+    /// Apply a [`WireWrite`] under the strict monotonic discipline.
+    pub fn write(&mut self, w: WireWrite) -> Result<WriteOutcome, SimError> {
+        match w {
+            WireWrite::Data(v) => self.write_data(v),
+            WireWrite::Enable(v) => self.write_enable(v),
+            WireWrite::Ack(v) => self.write_ack(v),
+        }
+    }
+
+    /// Apply a [`WireWrite`] tolerating oscillation: a conflicting write
+    /// re-resolves the wire instead of erroring, reported as
+    /// [`WriteOutcome::Oscillated`]. Driving a wire back to `Unknown` is
+    /// still a contract violation. This is the watchdog's execution mode:
+    /// cyclically inconsistent specifications keep stepping until the
+    /// iteration budget runs out, at which point the oscillation counts
+    /// name the guilty wires.
+    pub fn write_tolerant(&mut self, w: WireWrite) -> Result<WriteOutcome, SimError> {
+        match w {
+            WireWrite::Data(v) => Self::write_wire_tolerant(&mut self.data, v, Wire::Data),
+            WireWrite::Enable(v) => Self::write_wire_tolerant(&mut self.enable, v, Wire::Enable),
+            WireWrite::Ack(v) => Self::write_wire_tolerant(&mut self.ack, v, Wire::Ack),
+        }
+    }
+
     fn write_wire<T: PartialEq + std::fmt::Debug>(
         slot: &mut Res<T>,
         v: Res<T>,
@@ -137,6 +189,29 @@ impl SignalState {
             old => Err(SimError::contract(format!(
                 "non-monotonic write on {wire:?}: already {old:?}, new {v:?}"
             ))),
+        }
+    }
+
+    fn write_wire_tolerant<T: PartialEq + std::fmt::Debug>(
+        slot: &mut Res<T>,
+        v: Res<T>,
+        wire: Wire,
+    ) -> Result<WriteOutcome, SimError> {
+        if matches!(v, Res::Unknown) {
+            return Err(SimError::contract(format!(
+                "attempt to drive {wire:?} back to Unknown"
+            )));
+        }
+        match slot {
+            Res::Unknown => {
+                *slot = v;
+                Ok(WriteOutcome::NewlyResolved)
+            }
+            old if *old == v => Ok(WriteOutcome::Idempotent),
+            old => {
+                *old = v;
+                Ok(WriteOutcome::Oscillated)
+            }
         }
     }
 
@@ -248,6 +323,36 @@ mod tests {
         assert!(s.enable.is_no());
         assert!(s.ack.is_yes());
         assert!(!s.transfers());
+    }
+
+    #[test]
+    fn tolerant_write_oscillates_instead_of_erroring() {
+        let mut s = SignalState::default();
+        assert_eq!(
+            s.write_tolerant(WireWrite::Data(Res::No)).unwrap(),
+            WriteOutcome::NewlyResolved
+        );
+        assert_eq!(
+            s.write_tolerant(WireWrite::Data(Res::Yes(Value::Word(1))))
+                .unwrap(),
+            WriteOutcome::Oscillated
+        );
+        assert_eq!(s.data.as_yes().and_then(Value::as_word), Some(1));
+        // Equal re-writes stay idempotent even in tolerant mode.
+        assert_eq!(
+            s.write_tolerant(WireWrite::Data(Res::Yes(Value::Word(1))))
+                .unwrap(),
+            WriteOutcome::Idempotent
+        );
+        // Unresolving is illegal in every mode.
+        assert!(s.write_tolerant(WireWrite::Data(Res::Unknown)).is_err());
+    }
+
+    #[test]
+    fn wire_write_names_its_wire() {
+        assert_eq!(WireWrite::Data(Res::No).wire(), Wire::Data);
+        assert_eq!(WireWrite::Enable(Res::Yes(())).wire(), Wire::Enable);
+        assert_eq!(WireWrite::Ack(Res::No).wire(), Wire::Ack);
     }
 
     #[test]

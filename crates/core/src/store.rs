@@ -23,7 +23,7 @@
 
 use crate::error::SimError;
 use crate::netlist::EdgeId;
-use crate::signal::{Res, SignalState, WriteOutcome};
+use crate::signal::{Res, SignalState, WireWrite, WriteOutcome};
 use crate::value::Value;
 
 #[derive(Clone, Debug, Default)]
@@ -41,6 +41,10 @@ pub struct SignalStore {
     epoch: u64,
     transfers: Vec<EdgeId>,
     slot_writes: u64,
+    /// Set when an oscillation-tolerant write re-resolved a wire this
+    /// step: the transfer list may then hold duplicates or stale entries
+    /// and must be repaired by [`SignalStore::finalize_transfers`].
+    osc_dirty: bool,
 }
 
 impl SignalStore {
@@ -51,6 +55,7 @@ impl SignalStore {
             epoch: 1,
             transfers: Vec::new(),
             slot_writes: 0,
+            osc_dirty: false,
         }
     }
 
@@ -69,6 +74,7 @@ impl SignalStore {
     pub fn begin_step(&mut self) {
         self.epoch += 1;
         self.transfers.clear();
+        self.osc_dirty = false;
     }
 
     #[inline]
@@ -138,6 +144,67 @@ impl SignalStore {
             }
         }
         Ok(outcome)
+    }
+
+    /// Apply a [`WireWrite`] under the strict monotonic discipline,
+    /// maintaining the per-step transfer list like
+    /// [`SignalStore::write_with`].
+    #[inline]
+    pub fn write(&mut self, e: EdgeId, w: WireWrite) -> Result<WriteOutcome, SimError> {
+        self.write_with(e, |s| s.write(w))
+    }
+
+    /// Apply a [`WireWrite`] tolerating oscillation (see
+    /// [`SignalState::write_tolerant`]). An oscillated wire may complete
+    /// *or break* an already-recorded handshake, so the transfer list is
+    /// marked dirty and repaired lazily by
+    /// [`SignalStore::finalize_transfers`] before the commit phase reads
+    /// it.
+    #[inline]
+    pub fn write_tolerant(&mut self, e: EdgeId, w: WireWrite) -> Result<WriteOutcome, SimError> {
+        let slot = &mut self.slots[e.0 as usize];
+        if slot.stamp != self.epoch {
+            slot.state.reset();
+            slot.stamp = self.epoch;
+            self.slot_writes += 1;
+        }
+        let outcome = slot.state.write_tolerant(w)?;
+        match outcome {
+            WriteOutcome::NewlyResolved => {
+                self.slot_writes += 1;
+                if slot.state.transfers() {
+                    self.transfers.push(e);
+                }
+            }
+            WriteOutcome::Oscillated => {
+                self.slot_writes += 1;
+                self.osc_dirty = true;
+                // The flip may have *created* a completed handshake; a
+                // possible duplicate (or a broken, stale entry) is fixed
+                // up in finalize_transfers().
+                if slot.state.transfers() {
+                    self.transfers.push(e);
+                }
+            }
+            WriteOutcome::Idempotent => {}
+        }
+        Ok(outcome)
+    }
+
+    /// Repair the transfer list after oscillation-tolerant writes: drop
+    /// entries whose handshake no longer completes and deduplicate. A
+    /// no-op (and O(1)) unless an oscillated write dirtied the list this
+    /// step; the repaired list is in edge-id order.
+    pub fn finalize_transfers(&mut self) {
+        if !self.osc_dirty {
+            return;
+        }
+        self.osc_dirty = false;
+        let mut list = std::mem::take(&mut self.transfers);
+        list.sort_unstable_by_key(|e| e.0);
+        list.dedup();
+        list.retain(|&e| self.transfers_on(e));
+        self.transfers = list;
     }
 
     /// Edges whose transfer completed this step, in resolution order.
@@ -253,6 +320,45 @@ mod tests {
         store.write_with(E0, |s| s.write_ack(Res::No)).unwrap();
         assert!(store.transfers().is_empty());
         assert!(store.transferred(E0).is_none());
+    }
+
+    #[test]
+    fn value_write_matches_closure_write() {
+        let mut store = SignalStore::new(1);
+        assert_eq!(
+            store
+                .write(E0, WireWrite::Data(Res::Yes(Value::Word(3))))
+                .unwrap(),
+            WriteOutcome::NewlyResolved
+        );
+        assert_eq!(store.data(E0).as_yes().and_then(Value::as_word), Some(3));
+        assert!(store.write(E0, WireWrite::Data(Res::No)).is_err());
+    }
+
+    #[test]
+    fn tolerant_write_repairs_transfer_list() {
+        let mut store = SignalStore::new(2);
+        complete(&mut store, E0, 7);
+        assert_eq!(store.transfers(), &[E0]);
+        // Break the recorded handshake by flipping ack to No.
+        assert_eq!(
+            store.write_tolerant(E0, WireWrite::Ack(Res::No)).unwrap(),
+            WriteOutcome::Oscillated
+        );
+        store.finalize_transfers();
+        assert!(store.transfers().is_empty(), "broken handshake dropped");
+        // Flip it back: the handshake completes again, recorded once.
+        store
+            .write_tolerant(E0, WireWrite::Ack(Res::Yes(())))
+            .unwrap();
+        complete(&mut store, E1, 8);
+        store.finalize_transfers();
+        assert_eq!(store.transfers(), &[E0, E1], "deduped, edge-id order");
+        // With no oscillation this step, finalize is a no-op.
+        store.begin_step();
+        complete(&mut store, E1, 9);
+        store.finalize_transfers();
+        assert_eq!(store.transfers(), &[E1]);
     }
 
     #[test]

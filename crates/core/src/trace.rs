@@ -154,11 +154,21 @@ impl Tracer for RecordingTracer {
 /// Event kinds: `attach` (header: instance/edge census and the instance
 /// name table), `step` / `step_end`, `resolve` (per-wire resolution with
 /// polarity, payload rendering and source — module vs. default
-/// semantics), `transfer`, and — when enabled with
-/// [`JsonlProbe::with_handlers`] — `react` / `commit` handler brackets.
+/// semantics), `transfer`, `fault` / `inst_fault` (active fault-plan
+/// injections), `quarantine` (instance isolation), and — when enabled
+/// with [`JsonlProbe::with_handlers`] — `react` / `commit` handler
+/// brackets.
+///
+/// [`JsonlProbe::canonical`] restricts the stream to the
+/// scheduler-independent subset (everything except `resolve` and the
+/// handler brackets, whose ordering depends on the reaction schedule):
+/// two runs of the same netlist under the same fault plan produce
+/// byte-identical canonical streams regardless of scheduler — the
+/// deterministic-replay oracle the chaos harness asserts on.
 pub struct JsonlProbe<W: Write + Send> {
     out: W,
     handlers: bool,
+    canonical: bool,
 }
 
 impl<W: Write + Send> JsonlProbe<W> {
@@ -167,6 +177,7 @@ impl<W: Write + Send> JsonlProbe<W> {
         JsonlProbe {
             out,
             handlers: false,
+            canonical: false,
         }
     }
 
@@ -174,6 +185,15 @@ impl<W: Write + Send> JsonlProbe<W> {
     /// one line per handler invocation).
     pub fn with_handlers(mut self) -> Self {
         self.handlers = true;
+        self
+    }
+
+    /// Emit only the scheduler-independent event subset (drops `resolve`
+    /// and handler brackets), so equal seeds yield byte-identical
+    /// streams across schedulers.
+    pub fn canonical(mut self) -> Self {
+        self.canonical = true;
+        self.handlers = false;
         self
     }
 }
@@ -238,6 +258,9 @@ impl<W: Write + Send> Probe for JsonlProbe<W> {
         value: Option<&Value>,
         by: ResolvedBy,
     ) {
+        if self.canonical {
+            return;
+        }
         let by_s = match by {
             ResolvedBy::Module(i) => format!("{}", i.0),
             ResolvedBy::Default => "\"default\"".to_owned(),
@@ -262,6 +285,40 @@ impl<W: Write + Send> Probe for JsonlProbe<W> {
             json_escape(src),
             json_escape(dst),
             json_escape(&value.to_string()),
+        );
+    }
+
+    fn fault_injected(
+        &mut self,
+        now: u64,
+        edge: EdgeId,
+        wire: Wire,
+        kind: crate::fault::FaultKind,
+    ) {
+        let _ = writeln!(
+            self.out,
+            "{{\"t\":\"fault\",\"now\":{now},\"edge\":{},\"wire\":\"{}\",\"kind\":\"{}\"}}",
+            edge.0,
+            wire_name(wire),
+            kind.label(),
+        );
+    }
+
+    fn instance_fault(&mut self, now: u64, inst: InstanceId, kind: &str) {
+        let _ = writeln!(
+            self.out,
+            "{{\"t\":\"inst_fault\",\"now\":{now},\"inst\":{},\"kind\":\"{}\"}}",
+            inst.0,
+            json_escape(kind),
+        );
+    }
+
+    fn quarantined(&mut self, now: u64, inst: InstanceId, reason: &str) {
+        let _ = writeln!(
+            self.out,
+            "{{\"t\":\"quarantine\",\"now\":{now},\"inst\":{},\"reason\":\"{}\"}}",
+            inst.0,
+            json_escape(reason),
         );
     }
 }

@@ -1,0 +1,441 @@
+//! Integration tests for the fault-injection and resilience layer:
+//! wire-level faults (drop/stall/corrupt), instance-level faults (forced
+//! panic, latency), the panic quarantine with both failure policies, the
+//! convergence watchdog, and deterministic replay of the probe stream.
+
+use liberty_core::prelude::*;
+
+// ---------------------------------------------------------------- fixtures
+
+/// Sends its cycle number every step.
+struct Src;
+impl Module for Src {
+    fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+        ctx.send(PortId(0), 0, Value::Word(ctx.now()))
+    }
+    fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+        Ok(())
+    }
+}
+
+/// Accepts everything; records the received words.
+#[derive(Default)]
+struct Sink {
+    got: std::sync::Arc<std::sync::Mutex<Vec<u64>>>,
+}
+impl Module for Sink {
+    fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+        ctx.set_ack(PortId(0), 0, true)
+    }
+    fn commit(&mut self, ctx: &mut CommitCtx<'_>) -> Result<(), SimError> {
+        if let Some(v) = ctx.transferred_in(PortId(0), 0) {
+            self.got
+                .lock()
+                .unwrap()
+                .push(v.as_word().unwrap_or(u64::MAX));
+        }
+        Ok(())
+    }
+}
+
+/// Panics inside `react` at a chosen cycle — a *real* unwind, exercising
+/// the `catch_unwind` path rather than the plan-synthesized panic.
+struct PanicsAt(u64);
+impl Module for PanicsAt {
+    fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+        if ctx.now() == self.0 {
+            panic!("boom at {}", self.0);
+        }
+        ctx.send(PortId(0), 0, Value::Word(ctx.now()))
+    }
+    fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+        Ok(())
+    }
+}
+
+/// Returns a structured error from `react` at a chosen cycle.
+struct ErrsAt(u64);
+impl Module for ErrsAt {
+    fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+        if ctx.now() == self.0 {
+            return Err(SimError::model("deliberate failure"));
+        }
+        ctx.send(PortId(0), 0, Value::Word(ctx.now()))
+    }
+    fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+        Ok(())
+    }
+}
+
+/// A logical inverter with a self-loop: drives its output with the
+/// negation of its own input, which can never reach a fixed point — the
+/// canonical combinational loop the watchdog must catch.
+struct SelfInverter;
+impl Module for SelfInverter {
+    fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+        match ctx.data(PortId(1), 0) {
+            Res::Yes(v) => {
+                let w = v.as_word().unwrap_or(0);
+                ctx.set_data(PortId(0), 0, Res::Yes(Value::Word(1 - (w & 1))))
+            }
+            Res::No => ctx.set_data(PortId(0), 0, Res::Yes(Value::Word(1))),
+            Res::Unknown => Ok(()),
+        }
+    }
+    fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+        Ok(())
+    }
+}
+
+fn src_sink() -> (Simulator, std::sync::Arc<std::sync::Mutex<Vec<u64>>>) {
+    src_sink_with(SchedKind::Dynamic)
+}
+
+fn src_sink_with(sched: SchedKind) -> (Simulator, std::sync::Arc<std::sync::Mutex<Vec<u64>>>) {
+    let got = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let mut b = NetlistBuilder::new();
+    let s = b
+        .add(
+            "s",
+            ModuleSpec::new("src").output("out", 1, 1),
+            Box::new(Src),
+        )
+        .unwrap();
+    let k = b
+        .add(
+            "k",
+            ModuleSpec::new("sink").input("in", 1, 1),
+            Box::new(Sink { got: got.clone() }),
+        )
+        .unwrap();
+    b.connect(s, "out", k, "in").unwrap();
+    (Simulator::new(b.build().unwrap(), sched), got)
+}
+
+// ------------------------------------------------------------ wire faults
+
+#[test]
+fn drop_data_suppresses_transfers_in_window() {
+    let (mut sim, got) = src_sink();
+    sim.set_fault_plan(FaultPlan::new(7).drop_wire(EdgeId(0), Wire::Data, 2, 5));
+    sim.run(8).unwrap();
+    // Steps 2,3,4 lose the data write; the default semantics resolve the
+    // edge to "no data" and the handshake never completes.
+    assert_eq!(*got.lock().unwrap(), vec![0, 1, 5, 6, 7]);
+    assert_eq!(sim.metrics().faults_injected, 3);
+    assert_eq!(sim.metrics().quarantines, 0);
+}
+
+#[test]
+fn stall_ack_blocks_handshake_despite_data() {
+    let (mut sim, got) = src_sink();
+    sim.set_fault_plan(FaultPlan::new(7).stall_wire(EdgeId(0), Wire::Ack, 1, 3));
+    sim.run(5).unwrap();
+    // The sink acks every step, but the stall forces ack to No in [1,3).
+    assert_eq!(*got.lock().unwrap(), vec![0, 3, 4]);
+}
+
+#[test]
+fn corrupt_data_is_deterministic_and_differs() {
+    let run = |seed: u64| {
+        let (mut sim, got) = src_sink();
+        sim.set_fault_plan(FaultPlan::new(seed).corrupt_wire(EdgeId(0), Wire::Data, 0, 4));
+        sim.run(4).unwrap();
+        let v = got.lock().unwrap().clone();
+        v
+    };
+    let a = run(11);
+    let b = run(11);
+    let c = run(12);
+    assert_eq!(a, b, "same seed replays identically");
+    assert_ne!(a, vec![0, 1, 2, 3], "corruption changed the payloads");
+    assert_ne!(a, c, "different seeds corrupt differently");
+    assert_eq!(a.len(), 4, "corruption never blocks the handshake");
+}
+
+#[test]
+fn fault_off_path_is_untouched() {
+    let (mut sim, got) = src_sink();
+    sim.run(4).unwrap();
+    assert_eq!(*got.lock().unwrap(), vec![0, 1, 2, 3]);
+    assert_eq!(sim.metrics().faults_injected, 0);
+    assert!(sim.quarantined_instances().is_empty());
+}
+
+#[test]
+fn empty_plan_matches_fault_off_results() {
+    let (mut sim, got) = src_sink();
+    sim.set_fault_plan(FaultPlan::new(3));
+    sim.run(4).unwrap();
+    assert_eq!(*got.lock().unwrap(), vec![0, 1, 2, 3]);
+    assert_eq!(sim.metrics().faults_injected, 0);
+}
+
+// -------------------------------------------------------- instance faults
+
+#[test]
+fn forced_panic_aborts_by_default() {
+    let (mut sim, _got) = src_sink();
+    sim.set_fault_plan(FaultPlan::new(7).panic_at(InstanceId(0), 2));
+    let err = sim.run(8).unwrap_err();
+    let p = err.as_panic().expect("panic error");
+    assert_eq!(p.instance, "s");
+    assert_eq!(p.step, 2);
+    assert!(p.message.contains("injected panic"), "{}", p.message);
+}
+
+#[test]
+fn forced_panic_quarantines_under_policy() {
+    let (mut sim, got) = src_sink();
+    sim.set_fault_plan(FaultPlan::new(7).panic_at(InstanceId(0), 2));
+    sim.set_failure_policy(FailurePolicy::Quarantine);
+    sim.run(8).unwrap();
+    // The source is isolated from step 2 on: its edge falls back to the
+    // default "no data" semantics and the sink keeps running untouched.
+    assert_eq!(*got.lock().unwrap(), vec![0, 1]);
+    assert!(sim.is_quarantined(InstanceId(0)));
+    assert!(!sim.is_quarantined(InstanceId(1)));
+    assert_eq!(sim.quarantined_instances(), vec![InstanceId(0)]);
+    assert_eq!(sim.metrics().quarantines, 1);
+}
+
+#[test]
+fn real_panic_is_caught_and_quarantined() {
+    let got = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let mut b = NetlistBuilder::new();
+    let s = b
+        .add(
+            "bomb",
+            ModuleSpec::new("src").output("out", 1, 1),
+            Box::new(PanicsAt(3)),
+        )
+        .unwrap();
+    let k = b
+        .add(
+            "k",
+            ModuleSpec::new("sink").input("in", 1, 1),
+            Box::new(Sink { got: got.clone() }),
+        )
+        .unwrap();
+    b.connect(s, "out", k, "in").unwrap();
+    let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+    sim.set_failure_policy(FailurePolicy::Quarantine);
+    // Silence the default panic hook for the expected unwind.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let r = sim.run(6);
+    std::panic::set_hook(prev);
+    r.unwrap();
+    assert_eq!(*got.lock().unwrap(), vec![0, 1, 2]);
+    assert!(sim.is_quarantined(InstanceId(0)));
+    assert_eq!(sim.metrics().quarantines, 1);
+}
+
+#[test]
+fn real_panic_aborts_with_message() {
+    let mut b = NetlistBuilder::new();
+    let s = b
+        .add(
+            "bomb",
+            ModuleSpec::new("src").output("out", 1, 1),
+            Box::new(PanicsAt(1)),
+        )
+        .unwrap();
+    let k = b
+        .add(
+            "k",
+            ModuleSpec::new("sink").input("in", 1, 1),
+            Box::new(Sink::default()),
+        )
+        .unwrap();
+    b.connect(s, "out", k, "in").unwrap();
+    let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+    // Any resilience feature (here: a watchdog) routes reactions through
+    // the catch_unwind wrapper, so the panic becomes a structured error.
+    sim.set_watchdog(1000);
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let err = sim.run(4).unwrap_err();
+    std::panic::set_hook(prev);
+    let p = err.as_panic().expect("panic error");
+    assert_eq!(p.instance, "bomb");
+    assert_eq!(p.step, 1);
+    assert!(p.message.contains("boom at 1"), "{}", p.message);
+}
+
+#[test]
+fn react_error_quarantines_under_policy() {
+    let got = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let mut b = NetlistBuilder::new();
+    let s = b
+        .add(
+            "errs",
+            ModuleSpec::new("src").output("out", 1, 1),
+            Box::new(ErrsAt(2)),
+        )
+        .unwrap();
+    let k = b
+        .add(
+            "k",
+            ModuleSpec::new("sink").input("in", 1, 1),
+            Box::new(Sink { got: got.clone() }),
+        )
+        .unwrap();
+    b.connect(s, "out", k, "in").unwrap();
+    let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+    sim.set_failure_policy(FailurePolicy::Quarantine);
+    sim.run(5).unwrap();
+    assert_eq!(*got.lock().unwrap(), vec![0, 1]);
+    assert!(sim.is_quarantined(InstanceId(0)));
+}
+
+#[test]
+fn latency_fault_only_slows_the_step() {
+    let (mut sim, got) = src_sink();
+    sim.set_fault_plan(FaultPlan::new(7).latency(InstanceId(0), 1, 3, 1));
+    sim.run(4).unwrap();
+    assert_eq!(*got.lock().unwrap(), vec![0, 1, 2, 3]);
+    assert_eq!(sim.metrics().faults_injected, 2);
+}
+
+// ---------------------------------------------------------------- watchdog
+
+#[test]
+fn watchdog_reports_divergence_with_oscillating_wires() {
+    for sched in [SchedKind::Sweep, SchedKind::Dynamic, SchedKind::Static] {
+        let mut b = NetlistBuilder::new();
+        let inv = b
+            .add(
+                "inv",
+                ModuleSpec::new("inverter")
+                    .output("out", 1, 1)
+                    .input("in", 1, 1),
+                Box::new(SelfInverter),
+            )
+            .unwrap();
+        b.connect(inv, "out", inv, "in").unwrap();
+        let mut sim = Simulator::new(b.build().unwrap(), sched);
+        sim.set_watchdog(64);
+        let err = sim.run(4).unwrap_err();
+        let d = err
+            .as_divergence()
+            .unwrap_or_else(|| panic!("{sched:?}: expected divergence, got {err}"));
+        assert_eq!(d.step, 0, "{sched:?}");
+        assert_eq!(d.limit, 64, "{sched:?}");
+        assert!(d.iters > 64, "{sched:?}");
+        assert!(
+            d.oscillating
+                .iter()
+                .any(|w| w.edge == 0 && w.wire == "data"),
+            "{sched:?}: {:?}",
+            d.oscillating
+        );
+        assert!(d.oscillating[0].flips > 0, "{sched:?}");
+        assert_eq!(d.cycle, vec!["inv".to_owned()], "{sched:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("data"), "{msg}");
+        assert!(msg.contains("inv"), "{msg}");
+    }
+}
+
+#[test]
+fn watchdog_leaves_converging_netlists_alone() {
+    let (mut sim, got) = src_sink();
+    sim.set_watchdog(1000);
+    sim.run(4).unwrap();
+    assert_eq!(*got.lock().unwrap(), vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn simulator_survives_a_divergence_error() {
+    // After a structured failure the worklists are reset; a fresh netlist
+    // run on the same simulator object must not trip debug assertions.
+    let mut b = NetlistBuilder::new();
+    let inv = b
+        .add(
+            "inv",
+            ModuleSpec::new("inverter")
+                .output("out", 1, 1)
+                .input("in", 1, 1),
+            Box::new(SelfInverter),
+        )
+        .unwrap();
+    b.connect(inv, "out", inv, "in").unwrap();
+    let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+    sim.set_watchdog(16);
+    assert!(sim.run(1).is_err());
+    // The same step keeps failing deterministically, not hanging.
+    assert!(sim.run(1).is_err());
+}
+
+// ----------------------------------------------------- probes and replay
+
+#[test]
+fn fault_and_quarantine_events_reach_probes() {
+    let (mut sim, _got) = src_sink();
+    let (probe, counts) = CountingProbe::new();
+    sim.set_probe(Box::new(probe));
+    sim.set_fault_plan(
+        FaultPlan::new(5)
+            .drop_wire(EdgeId(0), Wire::Data, 0, 2)
+            .panic_at(InstanceId(0), 3),
+    );
+    sim.set_failure_policy(FailurePolicy::Quarantine);
+    sim.run(5).unwrap();
+    let c = counts.get();
+    assert_eq!(c.faults, 3, "2 drops + 1 panic");
+    assert_eq!(c.quarantines, 1);
+}
+
+#[test]
+fn canonical_jsonl_is_identical_across_schedulers() {
+    use std::io::Write;
+    #[derive(Clone, Default)]
+    struct Buf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+    impl Write for Buf {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let stream = |sched: SchedKind, seed: u64| {
+        let (mut sim, _got) = src_sink_with(sched);
+        let buf = Buf::default();
+        sim.set_probe(Box::new(JsonlProbe::new(buf.clone()).canonical()));
+        let topo = sim.topology().clone();
+        sim.set_fault_plan(FaultPlan::random(seed, &topo, 16, 0.4));
+        sim.set_failure_policy(FailurePolicy::Quarantine);
+        sim.run(16).unwrap();
+        drop(sim);
+        let bytes = buf.0.lock().unwrap().clone();
+        String::from_utf8(bytes).unwrap()
+    };
+
+    for seed in [1u64, 42, 1234] {
+        let sweep = stream(SchedKind::Sweep, seed);
+        let dynamic = stream(SchedKind::Dynamic, seed);
+        let fixed = stream(SchedKind::Static, seed);
+        assert_eq!(sweep, dynamic, "seed {seed}: sweep vs dynamic");
+        assert_eq!(sweep, fixed, "seed {seed}: sweep vs static");
+        assert!(!sweep.is_empty());
+    }
+}
+
+#[test]
+fn random_plans_respect_the_horizon() {
+    let (sim, _got) = src_sink();
+    let topo = sim.topology().clone();
+    let plan = FaultPlan::random(99, &topo, 10, 1.0);
+    assert!(!plan.is_empty(), "intensity 1.0 on a real topology");
+    for f in plan.signal_faults() {
+        assert!(
+            f.until <= 10,
+            "window {:?} exceeds horizon",
+            (f.from, f.until)
+        );
+    }
+}

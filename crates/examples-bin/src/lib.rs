@@ -9,6 +9,10 @@
 //! --jsonl PATH                stream structured events as JSON lines
 //! --profile                   print a per-instance hot-spot table at exit
 //! --metrics-out PATH          write engine metrics + statistics as JSON
+//! --faults SEED               inject a random fault plan (chaos mode)
+//! --fault-horizon N           fault activity window for --faults (default 64)
+//! --fault-policy P            abort | quarantine (default: quarantine)
+//! --max-iters N               convergence watchdog bound per time-step
 //! ```
 //!
 //! Usage inside an example:
@@ -35,12 +39,16 @@ pub struct ObsOpts {
     jsonl: Option<PathBuf>,
     profile: bool,
     metrics_out: Option<PathBuf>,
+    faults: Option<u64>,
+    fault_horizon: u64,
+    fault_policy: FailurePolicy,
+    max_iters: Option<u64>,
     /// Arguments not consumed by the observability layer, in order.
     pub rest: Vec<String>,
 }
 
 /// One line per flag, for embedding in an example's usage message.
-pub const OBS_USAGE: &str = "  --trace             print transfers (cap with --trace-limit N, default 200)\n  --vcd PATH          dump data/enable/ack waveforms for GTKWave\n  --jsonl PATH        stream structured events as JSON lines\n  --profile           print a per-instance hot-spot table at exit\n  --metrics-out PATH  write engine metrics + statistics as JSON";
+pub const OBS_USAGE: &str = "  --trace             print transfers (cap with --trace-limit N, default 200)\n  --vcd PATH          dump data/enable/ack waveforms for GTKWave\n  --jsonl PATH        stream structured events as JSON lines\n  --profile           print a per-instance hot-spot table at exit\n  --metrics-out PATH  write engine metrics + statistics as JSON\n  --faults SEED       inject a seeded random fault plan (chaos mode)\n  --fault-horizon N   fault activity window for --faults (default 64)\n  --fault-policy P    abort | quarantine on module failure (default quarantine)\n  --max-iters N       convergence watchdog: bound reactions per time-step";
 
 impl ObsOpts {
     /// Parse `std::env::args().skip(1)`.
@@ -52,6 +60,8 @@ impl ObsOpts {
     pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut o = ObsOpts {
             trace_limit: 200,
+            fault_horizon: 64,
+            fault_policy: FailurePolicy::Quarantine,
             ..ObsOpts::default()
         };
         let mut args = args.peekable();
@@ -64,6 +74,33 @@ impl ObsOpts {
                         .next()
                         .and_then(|v| v.parse().ok())
                         .ok_or("--trace-limit requires a number")?;
+                }
+                "--faults" => {
+                    o.faults = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--faults requires a seed (u64)")?,
+                    );
+                }
+                "--fault-horizon" => {
+                    o.fault_horizon = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--fault-horizon requires a number of cycles")?;
+                }
+                "--fault-policy" => {
+                    o.fault_policy = match args.next().as_deref() {
+                        Some("abort") => FailurePolicy::Abort,
+                        Some("quarantine") => FailurePolicy::Quarantine,
+                        _ => return Err("--fault-policy requires abort or quarantine".into()),
+                    };
+                }
+                "--max-iters" => {
+                    o.max_iters = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--max-iters requires a number")?,
+                    );
                 }
                 _ if a == "--vcd" || a.starts_with("--vcd=") => {
                     o.vcd = Some(flag_path(&a, "--vcd", &mut args)?);
@@ -108,6 +145,21 @@ impl ObsOpts {
                 Ok(single) => sim.set_probe(single),
                 Err(multi) => sim.set_probe(Box::new(multi)),
             }
+        }
+        if let Some(seed) = self.faults {
+            let topo = sim.topology().clone();
+            let plan = FaultPlan::random(seed, &topo, self.fault_horizon, 0.3);
+            eprintln!(
+                "chaos: seed {seed}, {} wire faults, {} instance faults, policy {:?}",
+                plan.signal_faults().len(),
+                plan.instance_faults().len(),
+                self.fault_policy
+            );
+            sim.set_fault_plan(plan);
+            sim.set_failure_policy(self.fault_policy);
+        }
+        if let Some(n) = self.max_iters {
+            sim.set_watchdog(n);
         }
         Ok(ObsSession {
             profile,
@@ -263,6 +315,43 @@ mod tests {
     fn missing_path_is_an_error() {
         assert!(ObsOpts::parse(["--vcd".to_string()].into_iter()).is_err());
         assert!(ObsOpts::parse(["--trace-limit".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let o = parse(&[
+            "--faults",
+            "42",
+            "--fault-horizon",
+            "128",
+            "--fault-policy",
+            "abort",
+            "--max-iters",
+            "5000",
+        ]);
+        assert_eq!(o.faults, Some(42));
+        assert_eq!(o.fault_horizon, 128);
+        assert_eq!(o.fault_policy, FailurePolicy::Abort);
+        assert_eq!(o.max_iters, Some(5000));
+        assert!(o.rest.is_empty());
+    }
+
+    #[test]
+    fn fault_defaults_are_quarantine() {
+        let o = parse(&["--faults", "7"]);
+        assert_eq!(o.fault_horizon, 64);
+        assert_eq!(o.fault_policy, FailurePolicy::Quarantine);
+        assert!(o.max_iters.is_none());
+    }
+
+    #[test]
+    fn bad_fault_flags_are_errors() {
+        assert!(ObsOpts::parse(["--faults".to_string()].into_iter()).is_err());
+        assert!(
+            ObsOpts::parse(["--fault-policy".to_string(), "explode".to_string()].into_iter())
+                .is_err()
+        );
+        assert!(ObsOpts::parse(["--max-iters".to_string(), "x".to_string()].into_iter()).is_err());
     }
 
     #[test]

@@ -4,9 +4,16 @@ use crate::ast::*;
 use crate::lexer::{lex, Pos, Spanned, Tok};
 use liberty_core::prelude::{Dir, SimError};
 
+/// Maximum statement/expression nesting. Recursive descent uses the host
+/// stack, so an adversarial spec ("((((…" or thousands of nested `if`s)
+/// must hit a diagnostic, not a stack overflow. Real specifications nest
+/// a handful of levels; 128 is far beyond anything structural.
+const MAX_NESTING: u32 = 128;
+
 struct Parser {
     toks: Vec<Spanned>,
     i: usize,
+    depth: u32,
 }
 
 impl Parser {
@@ -118,7 +125,24 @@ impl Parser {
         })
     }
 
+    fn enter(&mut self) -> Result<(), SimError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            return Err(self.err(&format!(
+                "nesting deeper than {MAX_NESTING} levels (unbalanced brackets?)"
+            )));
+        }
+        Ok(())
+    }
+
     fn stmt(&mut self) -> Result<Stmt, SimError> {
+        self.enter()?;
+        let r = self.stmt_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, SimError> {
         match self.peek() {
             Some(Tok::KwInstance) => {
                 self.bump();
@@ -256,6 +280,13 @@ impl Parser {
     }
 
     fn atom(&mut self) -> Result<Expr, SimError> {
+        self.enter()?;
+        let r = self.atom_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn atom_inner(&mut self) -> Result<Expr, SimError> {
         let pos = self.pos();
         match self.bump() {
             Some(Tok::Int(i)) => Ok(Expr::Int(i)),
@@ -286,7 +317,11 @@ impl Parser {
 /// Parse LSS source into a [`Spec`].
 pub fn parse(src: &str) -> Result<Spec, SimError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, i: 0 };
+    let mut p = Parser {
+        toks,
+        i: 0,
+        depth: 0,
+    };
     p.spec()
 }
 
@@ -374,6 +409,36 @@ mod tests {
     #[test]
     fn missing_semi_is_an_error() {
         assert!(parse("module m { param x = 1 }").is_err());
+    }
+
+    #[test]
+    fn pathological_nesting_is_a_diagnostic_not_a_stack_overflow() {
+        let deep_expr = format!(
+            "module m {{ param x = {}1{}; }}",
+            "(".repeat(10_000),
+            ")".repeat(10_000)
+        );
+        let err = parse(&deep_expr).unwrap_err().to_string();
+        assert!(err.contains("nesting"), "{err}");
+        let deep_neg = format!("module m {{ param x = {}1; }}", "-".repeat(10_000));
+        assert!(parse(&deep_neg).is_err());
+        let deep_if = format!(
+            "module m {{ {}instance q : queue;{} }}",
+            "if 1 { ".repeat(10_000),
+            " }".repeat(10_000)
+        );
+        let err = parse(&deep_if).unwrap_err().to_string();
+        assert!(err.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn sane_nesting_is_fine() {
+        let e = format!(
+            "module m {{ param x = {}1{}; }}",
+            "(".repeat(60),
+            ")".repeat(60)
+        );
+        assert!(parse(&e).is_ok());
     }
 
     #[test]

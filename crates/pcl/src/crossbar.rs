@@ -131,7 +131,12 @@ impl Module for Crossbar {
         let mut dsts = vec![None; n];
         for (i, d) in dsts.iter_mut().enumerate() {
             if let Res::Yes(v) = ctx.data(P_IN, i) {
-                *d = Some(Routed::from_value(&v)?.dst);
+                // A corrupted destination is rejected by react; never let
+                // it through to the winner-table indexing below.
+                let dst = Routed::from_value(&v)?.dst;
+                if (dst as usize) < out_w {
+                    *d = Some(dst);
+                }
             }
         }
         let winners = self.assign(&dsts, out_w);

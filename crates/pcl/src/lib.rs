@@ -23,6 +23,7 @@ pub mod alu;
 pub mod arbiter;
 pub mod crossbar;
 pub mod delay;
+pub mod inverter;
 pub mod memarray;
 pub mod queue;
 pub mod register;
@@ -61,6 +62,7 @@ pub fn register_all(reg: &mut Registry) {
     queue::register(reg);
     arbiter::register(reg);
     delay::register(reg);
+    inverter::register(reg);
     source::register(reg);
     sink::register(reg);
     tee::register(reg);
