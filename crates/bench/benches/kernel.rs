@@ -25,7 +25,9 @@
 //! least-interfered measurement, which is what a regression guard must
 //! compare on a shared machine.
 
-use liberty_bench::kernel::{run_workload_probed, KernelRun, ProbeMode, WORKLOADS};
+use liberty_bench::kernel::{
+    run_workload_probed, KernelRun, ProbeMode, MEASURED_SCHEDS, WORKLOADS,
+};
 use liberty_bench::table;
 use liberty_core::prelude::SchedKind;
 use std::collections::BTreeMap;
@@ -117,7 +119,7 @@ fn main() {
     // --- Throughput (probe off) ---
     let mut off_runs = Vec::new();
     for &w in WORKLOADS {
-        for sched in [SchedKind::Dynamic, SchedKind::Static] {
+        for &sched in MEASURED_SCHEDS {
             off_runs.push(best_of(best, w, sched, cycles, ProbeMode::Off));
         }
     }

@@ -1,4 +1,4 @@
-//! Regenerates every experiment table of EXPERIMENTS.md (E1–E16).
+//! Regenerates every experiment table of EXPERIMENTS.md (E1–E18).
 //!
 //! ```text
 //! cargo run -p liberty-bench --bin report --release            # all
@@ -882,7 +882,10 @@ fn e11() -> String {
         "## E11 — structural (LSE) vs monolithic vs functional\n\n\
          All three agree on architectural state for every catalog program (asserted during\n\
          this run and in `tests/equivalence.rs`). The structural simulator pays for kernel\n\
-         generality with host speed — the trade the paper accepts for reuse and confidence.\n\n\
+         generality with host speed — the trade the paper accepts for reuse and confidence.\n\
+         These rows run the Static scheduler; schedule compilation (E18) trims the kernel's\n\
+         per-react share of that gap, but on module-dominated systems like these the\n\
+         handler bodies, not the scheduler, are where the structural tax lives.\n\n\
          **Processor side** (million retired instructions per host second):\n\n{}\n\
          **Network side** (4x4 mesh, uniform 0.1, {cycles} cycles): monolithic {:.1} ms,\n\
          structural {:.1} ms (+{:.1} ms construction) — slowdown {:.1}x.\n",
@@ -1340,6 +1343,115 @@ fn e17() -> String {
     )
 }
 
+// ----------------------------------------------------------------------
+// E18 — schedule compilation: compiled plans vs the dynamic schedulers.
+// ----------------------------------------------------------------------
+fn e18() -> String {
+    use liberty_bench::kernel::{build, run_workload, KernelRun, ACYCLIC_WORKLOADS, WORKLOADS};
+
+    const ALL_SCHEDS: &[SchedKind] = &[
+        SchedKind::Sweep,
+        SchedKind::Dynamic,
+        SchedKind::Static,
+        SchedKind::Compiled,
+        SchedKind::CompiledParallel,
+    ];
+
+    fn best_of(n: u32, w: &'static str, s: SchedKind, cycles: u64) -> KernelRun {
+        (0..n)
+            .map(|_| run_workload(w, s, cycles))
+            .min_by(|a, b| a.secs.total_cmp(&b.secs))
+            .expect("n >= 1")
+    }
+
+    let cycles = 2000u64;
+    let mut rows = Vec::new();
+    for &w in WORKLOADS {
+        let runs: Vec<KernelRun> = ALL_SCHEDS
+            .iter()
+            .map(|&s| best_of(5, w, s, cycles))
+            .collect();
+        let best_dynamic = runs
+            .iter()
+            .filter(|r| matches!(r.sched, SchedKind::Dynamic | SchedKind::Static))
+            .map(|r| r.steps_per_sec())
+            .fold(f64::MIN, f64::max);
+        for r in &runs {
+            let speedup = if r.sched == SchedKind::Compiled {
+                format!("{:.2}x", r.steps_per_sec() / best_dynamic)
+            } else {
+                String::new()
+            };
+            rows.push(vec![
+                r.workload.to_string(),
+                format!("{:?}", r.sched),
+                format!("{:.0}", r.steps_per_sec()),
+                speedup,
+            ]);
+        }
+    }
+
+    // CMP thread-count sweep for the parallel plan.
+    let cmp = WORKLOADS[1];
+    let serial = best_of(5, cmp, SchedKind::Compiled, cycles);
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut scaling = vec![vec![
+        "Compiled (serial)".to_string(),
+        format!("{:.0}", serial.steps_per_sec()),
+        "1.00x".to_string(),
+    ]];
+    for threads in [1usize, 2, 4, 8] {
+        let r = (0..5)
+            .map(|_| {
+                let mut sim = build(cmp, SchedKind::CompiledParallel);
+                sim.set_parallelism(threads);
+                sim.run(cycles / 10).unwrap();
+                let (_, secs) = timed(|| sim.run(cycles).unwrap());
+                secs
+            })
+            .fold(f64::MAX, f64::min);
+        let sps = cycles as f64 / r;
+        scaling.push(vec![
+            format!("CompiledParallel, {threads} threads"),
+            format!("{sps:.0}"),
+            format!("{:.2}x", sps / serial.steps_per_sec()),
+        ]);
+    }
+    let hdr = format!("{cmp} ({host}-core host)");
+
+    format!(
+        "## E18 — schedule compilation: SCC-condensed plans vs dynamic discovery\n\n\
+         The compiled schedulers (docs/KERNEL.md §6) hoist fixed-point discovery to\n\
+         construction time: acyclic instances react exactly once per step from a\n\
+         precomputed plan — no worklist, no wake-table probing, no queued-flag\n\
+         bookkeeping — and cyclic SCCs run bounded local fixed-point islands. The\n\
+         `vs best dynamic` column divides `Compiled` by the better of Dynamic/Static\n\
+         (best of 5, 2k cycles; the acyclic microbenchmarks are built in\n\
+         anti-topological creation order so worklist schedulers cannot ride\n\
+         construction-order luck — see `{}`). On the pure per-react-overhead shape\n\
+         (scatter: one port operation per handler) the plan wins ~1.6x; on shapes\n\
+         whose handlers do two port operations (chain, fanout) the scheduler's share\n\
+         of each react shrinks and the gain settles around 1.4x; on the island-heavy\n\
+         systems (mesh/CMP/core) the plan's straight prefix is small and the gain is\n\
+         a few percent. Under probes, faults, or a watchdog the compiled schedulers\n\
+         fall back to fully-bookkept execution and remain byte-identical to the\n\
+         dynamic ones (`crates/bench/tests/equivalence.rs`).\n\n\
+         The scaling table pins the 8-core CMP and sweeps the parallel plan's\n\
+         thread count. **Host caveat:** this report machine exposes {} core(s);\n\
+         with one core the pool adds pure coordination overhead and\n\
+         `CompiledParallel` cannot beat the serial plan — the table documents that\n\
+         overhead honestly; on a multi-core host the wide CMP levels split across\n\
+         lanes. CI guards the compiled paths' floors via `ci/kernel_baseline.tsv`.\n\n{}\n{}\n",
+        ACYCLIC_WORKLOADS.join("`, `"),
+        host,
+        table(
+            &["workload", "scheduler", "steps/sec", "vs best dynamic"],
+            &rows
+        ),
+        table(&[hdr.as_str(), "steps/sec", "vs Compiled"], &scaling)
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k);
@@ -1362,6 +1474,7 @@ fn main() {
         ("e15", e15),
         ("e16", e16),
         ("e17", e17),
+        ("e18", e18),
     ];
     println!("# Liberty Simulation Environment — experiment report\n");
     println!("(regenerated by `cargo run -p liberty-bench --bin report --release`)\n");

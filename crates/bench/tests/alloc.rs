@@ -1,0 +1,129 @@
+//! Allocation discipline of the kernel hot path: a steady-state run
+//! moving *scalar* values must not touch the heap at all.
+//!
+//! `Value`'s hand-written `Clone` copies the scalar variants (`Unit`,
+//! `Bool`, `Word`, `Int`, `Float`) without `Arc` refcount traffic or
+//! allocation, and the kernel's per-step structures (signal slots,
+//! transfer list, worklists, wake buffer, stats entries) all reach fixed
+//! capacity after warm-up. This test holds the whole stack to that
+//! contract with a counting global allocator: one million word transfers
+//! through a 64-stage forwarding chain, zero allocations.
+//!
+//! Kept as its own integration test binary so no concurrently running
+//! test can pollute the global allocation counter.
+
+use liberty_core::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(l) }
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(p, l, n) }
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(l) }
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+const P_IN: PortId = PortId(0);
+const P_OUT: PortId = PortId(1);
+/// The source's only port ("out") is its port 0.
+const SRC_OUT: PortId = PortId(0);
+
+/// Sends the current cycle number every step.
+struct WordSrc;
+impl Module for WordSrc {
+    fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+        ctx.send(SRC_OUT, 0, Value::Word(ctx.now()))
+    }
+    fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+        Ok(())
+    }
+}
+
+/// Forwards its input's data wire and accepts unconditionally.
+struct Forward;
+impl Module for Forward {
+    fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+        ctx.set_ack(P_IN, 0, true)?;
+        match ctx.data(P_IN, 0) {
+            Res::Yes(v) => ctx.send(P_OUT, 0, v),
+            Res::No => ctx.send_nothing(P_OUT, 0),
+            Res::Unknown => Ok(()), // producer not settled yet
+        }
+    }
+    fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+        Ok(())
+    }
+}
+
+/// Accepts and counts everything it receives.
+struct CountingSink;
+impl Module for CountingSink {
+    fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+        ctx.set_ack(P_IN, 0, true)
+    }
+    fn commit(&mut self, ctx: &mut CommitCtx<'_>) -> Result<(), SimError> {
+        if let Some(Value::Word(_)) = ctx.transferred_in(P_IN, 0) {
+            ctx.count("received", 1);
+        }
+        Ok(())
+    }
+}
+
+/// A source, `stages - 1` forwarders, and a sink: `stages` edges total.
+fn chain(stages: usize, sched: SchedKind) -> Simulator {
+    let mut b = NetlistBuilder::new();
+    let src_spec = ModuleSpec::new("wsrc").output("out", 1, 1);
+    let fwd_spec = ModuleSpec::new("fwd").input("in", 1, 1).output("out", 1, 1);
+    let sink_spec = ModuleSpec::new("wsink").input("in", 1, 1);
+    let mut prev = b.add("src", src_spec, Box::new(WordSrc)).unwrap();
+    for i in 1..stages {
+        let f = b
+            .add(format!("f{i}"), fwd_spec.clone(), Box::new(Forward))
+            .unwrap();
+        b.connect(prev, "out", f, "in").unwrap();
+        prev = f;
+    }
+    let k = b.add("sink", sink_spec, Box::new(CountingSink)).unwrap();
+    b.connect(prev, "out", k, "in").unwrap();
+    Simulator::new(b.build().unwrap(), sched)
+}
+
+#[test]
+fn a_million_word_transfers_allocate_nothing() {
+    const STAGES: usize = 64;
+    const STEPS: u64 = 16_384; // 64 transfers/step * 16384 = 2^20 > 1e6
+    let mut sim = chain(STAGES, SchedKind::Compiled);
+    // Warm-up: let every lazily grown structure (transfer list, wake
+    // buffer, stats entries, plan-order scratch) reach steady capacity.
+    sim.run(4).unwrap();
+    let before = ALLOCS.load(Ordering::SeqCst);
+    sim.run(STEPS).unwrap();
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state scalar transfers must not allocate"
+    );
+    let k = sim.instance_by_name("sink").unwrap();
+    assert_eq!(sim.stats().counter(k, "received"), 4 + STEPS);
+    let transfers: u64 = sim.transfer_counts().iter().sum();
+    assert!(transfers >= 1_000_000, "moved {transfers} values");
+}

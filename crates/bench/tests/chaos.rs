@@ -25,7 +25,13 @@ use std::io::Write;
 
 const SEEDS: &[u64] = &[1, 42, 0xC0FFEE];
 const CYCLES: u64 = 48;
-const SCHEDS: &[SchedKind] = &[SchedKind::Sweep, SchedKind::Dynamic, SchedKind::Static];
+const SCHEDS: &[SchedKind] = &[
+    SchedKind::Sweep,
+    SchedKind::Dynamic,
+    SchedKind::Static,
+    SchedKind::Compiled,
+    SchedKind::CompiledParallel,
+];
 
 /// Shared byte buffer implementing `Write` for in-memory JSONL capture.
 #[derive(Clone, Default)]

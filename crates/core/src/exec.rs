@@ -21,22 +21,30 @@
 //!    the unique fixed point, so the skip decision is identical under
 //!    every scheduler.
 //!
-//! All three schedulers (naive sweep, dynamic FIFO, static rank order —
-//! paper ref [22]) share one worklist/wake infrastructure: newly resolved
-//! wires are looked up in the topology's CSR reader tables and the readers
-//! are re-queued. They reach the same fixed point; they differ only in
-//! handler re-invocation counts.
+//! The three dynamic schedulers (naive sweep, dynamic FIFO, static rank
+//! order — paper ref [22]) share one worklist/wake infrastructure: newly
+//! resolved wires are looked up in the topology's CSR reader tables and
+//! the readers are re-queued. The two compiled schedulers instead execute
+//! a pre-analyzed [`CompiledPlan`]: acyclic instances react exactly once,
+//! in topological order, with no worklist at all; cyclic SCCs run bounded
+//! local fixed-point islands; `CompiledParallel` additionally fans
+//! independent same-level plan segments across a small owned thread pool
+//! with buffered writes merged in plan order. All five reach the same
+//! fixed point; they differ only in handler re-invocation counts and
+//! wall-clock.
 
+use crate::compile::{CompiledPlan, PlanNode};
 use crate::error::{DivergenceInfo, OscillatingWire, PanicInfo, SimError};
 use crate::fault::{apply_fault, wire_idx, ActiveFaults, CompiledFaults, FailurePolicy, FaultPlan};
 use crate::module::{Dir, Module, PortId};
 use crate::netlist::{EdgeId, InstanceId, Netlist};
+use crate::pool::WorkerPool;
 use crate::probe::{Probe, ResolvedBy, TracerProbe};
 use crate::sched::RankQueue;
 use crate::signal::{Res, Wire, WireWrite, WriteOutcome};
 use crate::stats::{Stats, StatsReport};
 use crate::store::SignalStore;
-use crate::topology::{InstanceInfo, Topology};
+use crate::topology::{InstanceInfo, PortMeta, Topology};
 use crate::value::Value;
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -55,6 +63,20 @@ pub enum SchedKind {
     /// Rank-ordered worklist from a topological analysis of the netlist
     /// (SCC condensation); the optimization of paper ref [22].
     Static,
+    /// Statically compiled plan ([`CompiledPlan`]): acyclic instances
+    /// react exactly once per step in topological order with no worklist
+    /// or wake-table probing; cyclic SCCs run bounded local fixed-point
+    /// islands. The logical conclusion of ref [22]'s analysis.
+    Compiled,
+    /// [`SchedKind::Compiled`], with independent same-level plan segments
+    /// executed across a small owned thread pool (see
+    /// [`Simulator::set_parallelism`]). Writes are buffered per partition
+    /// and merged in plan order at level barriers, so results — including
+    /// probe streams — are deterministic and identical to the serial
+    /// schedulers. Falls back to the serial compiled path when a probe,
+    /// fault plan or watchdog is installed, or when only one thread is
+    /// available.
+    CompiledParallel,
 }
 
 /// Invocation counters exposed for the scheduler-optimization experiment.
@@ -108,6 +130,33 @@ struct WorkState {
     ranked: Option<RankQueue>,
 }
 
+/// A side effect recorded by one parallel partition during a level burst,
+/// applied serially — in plan order — at the level barrier.
+enum BufOp {
+    /// A wire drive (instance id for error attribution at merge).
+    Write(u32, EdgeId, WireWrite),
+    /// [`ReactCtx::count`].
+    Count(u32, &'static str, u64),
+    /// [`ReactCtx::sample`].
+    Sample(u32, &'static str, f64),
+    /// [`ReactCtx::histo`].
+    Histo(u32, &'static str, u64),
+}
+
+/// One partition's reusable effect buffer for a parallel level burst.
+#[derive(Default)]
+struct ReactBuffer {
+    ops: Vec<BufOp>,
+    reacts: u64,
+}
+
+impl ReactBuffer {
+    fn clear(&mut self) {
+        self.ops.clear();
+        self.reacts = 0;
+    }
+}
+
 /// The executable simulator (paper Fig. 1's "Simulator Executable").
 pub struct Simulator {
     topo: Arc<Topology>,
@@ -128,6 +177,16 @@ pub struct Simulator {
     /// Fault-injection / watchdog / quarantine state; `None` (the
     /// default) keeps the hot path on the fault-free monomorphization.
     resil: Option<Box<ResilState>>,
+    /// The compiled invocation plan (compiled schedulers only; shared
+    /// via the topology's cache).
+    plan: Option<Arc<CompiledPlan>>,
+    /// Requested parallelism for [`SchedKind::CompiledParallel`],
+    /// including the caller's thread; `0` = auto-detect.
+    threads: usize,
+    /// Lazily spawned worker pool for the parallel scheduler.
+    pool: Option<WorkerPool>,
+    /// Per-partition write/stat buffers, reused across levels and steps.
+    par_bufs: Vec<ReactBuffer>,
 }
 
 impl Simulator {
@@ -155,7 +214,9 @@ impl Simulator {
         let n_edges = topo.edge_count();
         let work = match sched {
             SchedKind::Sweep => WorkState::default(),
-            SchedKind::Dynamic => WorkState {
+            // The compiled schedulers keep a FIFO too: islands iterate on
+            // it, and the default phase's resume path reuses it.
+            SchedKind::Dynamic | SchedKind::Compiled | SchedKind::CompiledParallel => WorkState {
                 fifo: VecDeque::with_capacity(n),
                 queued: vec![false; n],
                 ranked: None,
@@ -164,6 +225,10 @@ impl Simulator {
                 ranked: Some(RankQueue::new(topo.ranks())),
                 ..WorkState::default()
             },
+        };
+        let plan = match sched {
+            SchedKind::Compiled | SchedKind::CompiledParallel => Some(topo.plan().clone()),
+            _ => None,
         };
         Simulator {
             store: SignalStore::new(n_edges),
@@ -178,6 +243,10 @@ impl Simulator {
             active: vec![false; n],
             transfer_counts: vec![0; n_edges],
             resil: None,
+            plan,
+            threads: 0,
+            pool: None,
+            par_bufs: Vec::new(),
             topo,
         }
     }
@@ -292,6 +361,32 @@ impl Simulator {
     /// Which scheduler this simulator runs.
     pub fn sched(&self) -> SchedKind {
         self.sched
+    }
+
+    /// Set the lane count for [`SchedKind::CompiledParallel`]: total
+    /// parallelism *including* the calling thread. `0` (the default)
+    /// auto-detects from `std::thread::available_parallelism`. A no-op
+    /// for the serial schedulers; any existing worker pool is dropped and
+    /// respawned lazily at the next step.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.threads = threads;
+        self.pool = None;
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads != 0 {
+            self.threads
+        } else {
+            // Cached: `available_parallelism` re-reads cgroup limits on
+            // every call, far too slow for a per-step check.
+            static AUTO: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+            *AUTO.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        }
+    }
+
+    /// The compiled invocation plan, when running a compiled scheduler.
+    pub fn compiled_plan(&self) -> Option<&Arc<CompiledPlan>> {
+        self.plan.as_ref()
     }
 
     /// Instance names in id order (for stats reports).
@@ -435,7 +530,15 @@ impl Simulator {
     }
 
     /// Run the reaction phase from a full seed (every instance queued).
+    /// The compiled schedulers take the plan path instead: no seeding, no
+    /// worklist for the acyclic part of the netlist.
     fn reaction_phase(&mut self) -> Result<(), SimError> {
+        if matches!(
+            self.sched,
+            SchedKind::Compiled | SchedKind::CompiledParallel
+        ) {
+            return self.reaction_compiled();
+        }
         let n = self.topo.instance_count();
         let mut work = std::mem::take(&mut self.work);
         match self.sched {
@@ -452,6 +555,7 @@ impl Simulator {
                     q.push(i);
                 }
             }
+            SchedKind::Compiled | SchedKind::CompiledParallel => unreachable!("dispatched above"),
         }
         let r = self.drain(&mut work);
         self.work = work;
@@ -463,7 +567,7 @@ impl Simulator {
         let mut work = std::mem::take(&mut self.work);
         match self.sched {
             SchedKind::Sweep => {}
-            SchedKind::Dynamic => {
+            SchedKind::Dynamic | SchedKind::Compiled | SchedKind::CompiledParallel => {
                 debug_assert!(work.fifo.is_empty());
                 for &s in seeds {
                     if !work.queued[s as usize] {
@@ -548,7 +652,7 @@ impl Simulator {
                     return Ok(());
                 }
             },
-            SchedKind::Dynamic => {
+            SchedKind::Dynamic | SchedKind::Compiled | SchedKind::CompiledParallel => {
                 while let Some(i) = work.fifo.pop_front() {
                     work.queued[i as usize] = false;
                     newly.clear();
@@ -588,9 +692,237 @@ impl Simulator {
         result
     }
 
+    /// Reaction phase for the compiled schedulers: execute the plan
+    /// instead of seeding and draining a worklist.
+    fn reaction_compiled(&mut self) -> Result<(), SimError> {
+        // The parallel burst excludes probes and resilience: a probe
+        // observes resolve order (inherently serial), and fault/watchdog
+        // machinery mutates shared state per react. Both fall back to the
+        // serial compiled path, which handles them monomorphized.
+        if self.sched == SchedKind::CompiledParallel
+            && self.probe.is_none()
+            && self.resil.is_none()
+            && self.effective_threads() > 1
+        {
+            return self.reaction_compiled_parallel();
+        }
+        let mut work = std::mem::take(&mut self.work);
+        let r = match (self.probe.is_some(), self.resil.is_some()) {
+            (false, false) => self.compiled_serial::<false, false>(&mut work),
+            (true, false) => self.compiled_serial::<true, false>(&mut work),
+            (false, true) => self.compiled_serial::<false, true>(&mut work),
+            (true, true) => self.compiled_serial::<true, true>(&mut work),
+        };
+        if r.is_err() {
+            work.fifo.clear();
+            work.queued.fill(false);
+        }
+        self.work = work;
+        r
+    }
+
+    /// One serial pass over the plan: straight nodes react exactly once
+    /// (their producers all sit earlier in the plan, so their inputs are
+    /// final — monotonicity plus the unique fixed point make a single
+    /// invocation sufficient); islands run a local FIFO fixed point.
+    fn compiled_serial<const PROBED: bool, const RESIL: bool>(
+        &mut self,
+        work: &mut WorkState,
+    ) -> Result<(), SimError> {
+        let plan = self
+            .plan
+            .clone()
+            .expect("compiled scheduler without a plan");
+        let Simulator {
+            topo,
+            modules,
+            store,
+            stats,
+            now,
+            metrics,
+            probe,
+            wake_buf,
+            resil,
+            ..
+        } = self;
+        let topo: &Topology = topo;
+        let mut probe: Option<&mut (dyn Probe + 'static)> =
+            if PROBED { probe.as_deref_mut() } else { None };
+        let probe = &mut probe;
+        let mut newly = std::mem::take(wake_buf);
+        if !PROBED && !RESIL {
+            // Every straight node reacts exactly once per step; count the
+            // whole batch up front instead of once per handler call.
+            metrics.reacts += plan.straight_count() as u64;
+            if plan.is_fully_acyclic() {
+                // Fully acyclic netlist: the plan is a bare instance-id
+                // sequence — no enum dispatch, no island machinery.
+                let mut r = Ok(());
+                for &i in plan.straight_ids() {
+                    r = react_straight(topo, modules, store, stats, *now, i as usize);
+                    if r.is_err() {
+                        break;
+                    }
+                }
+                self.wake_buf = newly;
+                return r;
+            }
+        }
+        let result = (|| {
+            for node in plan.nodes() {
+                match node {
+                    &PlanNode::Straight(i) => {
+                        // Wakes are dropped: every reader of a straight
+                        // node's wires is a strictly later plan node and
+                        // runs regardless (ack wakes would only target a
+                        // declared reactive ack reader, which the compiler
+                        // put in an island with this instance instead).
+                        if !PROBED && !RESIL {
+                            react_straight(topo, modules, store, stats, *now, i as usize)?;
+                        } else {
+                            newly.clear();
+                            react_one::<PROBED, RESIL>(
+                                topo, modules, store, stats, metrics, *now, i as usize, &mut newly,
+                                probe, resil,
+                            )?;
+                        }
+                    }
+                    PlanNode::Island { island, members } => {
+                        drain_island::<PROBED, RESIL>(
+                            topo, modules, store, stats, metrics, *now, &plan, *island, members,
+                            work, &mut newly, probe, resil,
+                        )?;
+                    }
+                }
+            }
+            Ok(())
+        })();
+        self.wake_buf = newly;
+        result
+    }
+
+    /// Parallel compiled reaction: independent same-level plan segments
+    /// burst across the worker pool against a read-only store; each
+    /// partition's writes are buffered and merged serially in plan order
+    /// at the level barrier, so the store sees the exact mutation
+    /// sequence of the serial compiled scheduler.
+    fn reaction_compiled_parallel(&mut self) -> Result<(), SimError> {
+        let plan = self
+            .plan
+            .clone()
+            .expect("compiled scheduler without a plan");
+        let threads = self.effective_threads();
+        if self.pool.as_ref().is_none_or(|p| p.capacity() != threads) {
+            self.pool = Some(WorkerPool::new(threads - 1));
+        }
+        let mut pool = self.pool.take().expect("pool ensured above");
+        if self.par_bufs.len() < threads {
+            self.par_bufs.resize_with(threads, ReactBuffer::default);
+        }
+        let mut bufs = std::mem::take(&mut self.par_bufs);
+        let mut work = std::mem::take(&mut self.work);
+        let r = self.par_levels(&plan, &mut pool, &mut work, &mut bufs[..threads]);
+        if r.is_err() {
+            work.fifo.clear();
+            work.queued.fill(false);
+        }
+        self.work = work;
+        self.par_bufs = bufs;
+        self.pool = Some(pool);
+        r
+    }
+
+    /// Walk the plan level by level: wide straight segments burst across
+    /// the pool, narrow ones and islands run inline (islands iterate and
+    /// are executed serially at their plan position — they are rare and
+    /// small in well-formed specs).
+    fn par_levels(
+        &mut self,
+        plan: &CompiledPlan,
+        pool: &mut WorkerPool,
+        work: &mut WorkState,
+        bufs: &mut [ReactBuffer],
+    ) -> Result<(), SimError> {
+        let threads = bufs.len().min(pool.capacity());
+        let Simulator {
+            topo,
+            modules,
+            store,
+            stats,
+            now,
+            metrics,
+            wake_buf,
+            ..
+        } = self;
+        let topo: &Topology = topo;
+        let mut no_probe: Option<&mut (dyn Probe + 'static)> = None;
+        let mut no_resil: Option<Box<ResilState>> = None;
+        let mut newly = std::mem::take(wake_buf);
+        let result = (|| {
+            for level in plan.levels() {
+                let snodes = &plan.nodes()[level.start as usize..level.straight_end as usize];
+                let n_chunks = (snodes.len() / MIN_STRAIGHTS_PER_CHUNK).clamp(1, threads);
+                if n_chunks >= 2 {
+                    run_level_parallel(
+                        topo,
+                        modules,
+                        store,
+                        stats,
+                        metrics,
+                        *now,
+                        snodes,
+                        &mut bufs[..n_chunks],
+                        pool,
+                    )?;
+                } else {
+                    metrics.reacts += snodes.len() as u64;
+                    for node in snodes {
+                        react_straight(
+                            topo,
+                            modules,
+                            store,
+                            stats,
+                            *now,
+                            straight_id(node) as usize,
+                        )?;
+                    }
+                }
+                for node in &plan.nodes()[level.straight_end as usize..level.end as usize] {
+                    let PlanNode::Island { island, members } = node else {
+                        unreachable!("island segment holds only islands");
+                    };
+                    drain_island::<false, false>(
+                        topo,
+                        modules,
+                        store,
+                        stats,
+                        metrics,
+                        *now,
+                        plan,
+                        *island,
+                        members,
+                        work,
+                        &mut newly,
+                        &mut no_probe,
+                        &mut no_resil,
+                    )?;
+                }
+            }
+            Ok(())
+        })();
+        self.wake_buf = newly;
+        result
+    }
+
     /// Lazy default resolution: default the lowest-numbered unresolved
     /// wire, wake its readers, resume reactions; repeat to full resolution.
     fn default_phase(&mut self) -> Result<(), SimError> {
+        // Well-behaved netlists resolve every wire during the reaction
+        // phase; the store counts resolutions, so that common case is a
+        // single comparison instead of an O(edges) cursor sweep.
+        if self.store.fully_resolved_step() {
+            return Ok(());
+        }
         let n_edges = self.topo.edge_count();
         let mut cursor = 0usize;
         loop {
@@ -657,14 +989,27 @@ impl Simulator {
         if RESIL {
             store.finalize_transfers();
         }
-        for &e in store.transfers() {
-            let em = topo.edge_meta(e);
-            active[em.src.inst.0 as usize] = true;
-            active[em.dst.inst.0 as usize] = true;
-            transfer_counts[e.0 as usize] += 1;
+        if topo.any_commit_gated() {
+            for &e in store.transfers() {
+                let em = topo.edge_meta(e);
+                active[em.src.inst.0 as usize] = true;
+                active[em.dst.inst.0 as usize] = true;
+                transfer_counts[e.0 as usize] += 1;
+            }
+        } else {
+            // Nobody consumes the endpoint marks: count transfers only.
+            for &e in store.transfers() {
+                transfer_counts[e.0 as usize] += 1;
+            }
         }
         let result = (|| {
+            if topo.all_commit_noop() && !RESIL {
+                return Ok(());
+            }
             for (i, module) in modules.iter_mut().enumerate() {
+                if topo.commit_noop(i) {
+                    continue;
+                }
                 if RESIL {
                     let rs = resil.as_deref_mut().expect("resilient commit state");
                     if rs.quarantined[i] {
@@ -745,10 +1090,12 @@ impl Simulator {
         // Clear flags by walking the same transfer list: cost stays
         // proportional to activity, not to instance count. Runs even on
         // the error path so a failed step cannot poison the next one.
-        for &e in store.transfers() {
-            let em = topo.edge_meta(e);
-            active[em.src.inst.0 as usize] = false;
-            active[em.dst.inst.0 as usize] = false;
+        if topo.any_commit_gated() {
+            for &e in store.transfers() {
+                let em = topo.edge_meta(e);
+                active[em.src.inst.0 as usize] = false;
+                active[em.dst.inst.0 as usize] = false;
+            }
         }
         result
     }
@@ -815,10 +1162,246 @@ fn divergence_error(topo: &Topology, rs: &ResilState, now: u64) -> SimError {
     }))
 }
 
+/// Minimum straight nodes per parallel chunk: below this, dispatch and
+/// merge overhead beats the win, so narrow levels run inline.
+const MIN_STRAIGHTS_PER_CHUNK: usize = 4;
+
+/// Instance id of a straight plan node (the straight segment of a level
+/// holds nothing else).
+fn straight_id(n: &PlanNode) -> u32 {
+    match n {
+        PlanNode::Straight(i) => *i,
+        PlanNode::Island { .. } => unreachable!("straight segment holds only straights"),
+    }
+}
+
+/// Run one cyclic SCC ("island") to its local fixed point with a FIFO
+/// worklist. Wakes are filtered to island members: a reader outside the
+/// island sits strictly later in the plan and runs regardless. The
+/// watchdog / oscillation diagnostics flow through `react_one` unchanged,
+/// so a cyclically inconsistent island fails with the same structured
+/// [`SimError::Divergence`] the dynamic schedulers produce.
+#[allow(clippy::too_many_arguments)]
+fn drain_island<const PROBED: bool, const RESIL: bool>(
+    topo: &Topology,
+    modules: &mut [Box<dyn Module>],
+    store: &mut SignalStore,
+    stats: &mut Stats,
+    metrics: &mut EngineMetrics,
+    now: u64,
+    plan: &CompiledPlan,
+    island: u32,
+    members: &[u32],
+    work: &mut WorkState,
+    newly: &mut Vec<(EdgeId, Wire)>,
+    probe: &mut Option<&mut (dyn Probe + 'static)>,
+    resil: &mut Option<Box<ResilState>>,
+) -> Result<(), SimError> {
+    debug_assert!(work.fifo.is_empty());
+    for &m in members {
+        work.queued[m as usize] = true;
+        work.fifo.push_back(m);
+    }
+    while let Some(i) = work.fifo.pop_front() {
+        work.queued[i as usize] = false;
+        newly.clear();
+        react_one::<PROBED, RESIL>(
+            topo, modules, store, stats, metrics, now, i as usize, newly, probe, resil,
+        )?;
+        for (e, wire) in newly.drain(..) {
+            for &t in topo.readers(wire, e) {
+                if plan.island_of(t) == island && !work.queued[t as usize] {
+                    work.queued[t as usize] = true;
+                    work.fifo.push_back(t);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Execute one level's straight segment across the pool. The plan's
+/// invariants make this sound and deterministic:
+///
+/// * straight segments are sorted by instance id, so the module slice
+///   partitions into disjoint `&mut` chunks;
+/// * no dependency edge joins two same-level nodes — each connection's
+///   endpoints are either in one island or on strictly different levels —
+///   so reads against the shared `&SignalStore` only observe wires
+///   settled by earlier levels, which are final;
+/// * writes are buffered per chunk and applied at the barrier in plan
+///   (chunk) order, reproducing the serial scheduler's exact store
+///   mutation sequence.
+///
+/// One observable difference from the serial path: a write the store
+/// rejects (a contract violation) surfaces here at the barrier rather
+/// than inside the module's `react`, so a module that would have
+/// swallowed the error cannot — the step fails either way.
+#[allow(clippy::too_many_arguments)]
+fn run_level_parallel(
+    topo: &Topology,
+    modules: &mut [Box<dyn Module>],
+    store: &mut SignalStore,
+    stats: &mut Stats,
+    metrics: &mut EngineMetrics,
+    now: u64,
+    snodes: &[PlanNode],
+    bufs: &mut [ReactBuffer],
+    pool: &mut WorkerPool,
+) -> Result<(), SimError> {
+    struct Chunk<'a> {
+        nodes: &'a [PlanNode],
+        mods: &'a mut [Box<dyn Module>],
+        base: usize,
+        buf: &'a mut ReactBuffer,
+        err: Option<SimError>,
+    }
+    let n_chunks = bufs.len();
+    let per = snodes.len().div_ceil(n_chunks);
+    let mut chunks: Vec<Chunk<'_>> = Vec::with_capacity(n_chunks);
+    let mut rem = modules;
+    let mut consumed = 0usize;
+    for (c, buf) in bufs.iter_mut().enumerate() {
+        let lo = c * per;
+        let hi = (lo + per).min(snodes.len());
+        if lo >= hi {
+            break;
+        }
+        let nodes = &snodes[lo..hi];
+        let first = straight_id(&nodes[0]) as usize;
+        let last = straight_id(&nodes[nodes.len() - 1]) as usize;
+        let tmp = std::mem::take(&mut rem);
+        let (_, tail) = tmp.split_at_mut(first - consumed);
+        let (mine, tail) = tail.split_at_mut(last - first + 1);
+        rem = tail;
+        consumed = last + 1;
+        buf.clear();
+        chunks.push(Chunk {
+            nodes,
+            mods: mine,
+            base: first,
+            buf,
+            err: None,
+        });
+    }
+    // Burst: every chunk reacts its instances against the read-only
+    // store, recording effects into its own buffer.
+    {
+        let store_ro: &SignalStore = store;
+        let mut tasks: Vec<_> = chunks
+            .iter_mut()
+            .map(|ch| {
+                move || {
+                    for node in ch.nodes {
+                        let i = straight_id(node) as usize;
+                        ch.buf.reacts += 1;
+                        let inst = InstanceId(i as u32);
+                        let mut ctx = ReactCtx {
+                            inst,
+                            info: topo.instance(inst),
+                            pmeta: topo.hot_ports(inst),
+                            eflat: topo.edges_flat(),
+                            sink: CtxSink::Buffered {
+                                store: store_ro,
+                                buf: &mut *ch.buf,
+                            },
+                            now,
+                            faults: None,
+                            osc: None,
+                        };
+                        if let Err(e) = ch.mods[i - ch.base].react(&mut ctx) {
+                            ch.err = Some(e);
+                            return;
+                        }
+                    }
+                }
+            })
+            .collect();
+        let mut task_refs: Vec<&mut (dyn FnMut() + Send)> = tasks
+            .iter_mut()
+            .map(|t| t as &mut (dyn FnMut() + Send))
+            .collect();
+        let panics = pool.run(&mut task_refs);
+        if let Some(p) = panics.into_iter().flatten().next() {
+            // A raw module panic: drop the partial buffers, then re-raise.
+            // (The resilient catch-and-quarantine policies never reach
+            // this path — installing one forces the serial fallback.)
+            drop(tasks);
+            for ch in &mut chunks {
+                ch.buf.clear();
+            }
+            std::panic::resume_unwind(p);
+        }
+    }
+    // Barrier merge, chunk by chunk in plan order.
+    let mut first_err: Option<SimError> = None;
+    for ch in &mut chunks {
+        metrics.reacts += ch.buf.reacts;
+        ch.buf.reacts = 0;
+        for op in ch.buf.ops.drain(..) {
+            if first_err.is_some() {
+                continue;
+            }
+            match op {
+                BufOp::Write(inst, e, w) => {
+                    if let Err(err) = store.write(e, w) {
+                        let info = topo.instance(InstanceId(inst));
+                        first_err = Some(SimError::contract(format!(
+                            "{} ({}): {err}",
+                            info.name, info.spec.template
+                        )));
+                    }
+                }
+                BufOp::Count(inst, name, by) => stats.count(InstanceId(inst), name, by),
+                BufOp::Sample(inst, name, v) => stats.sample(InstanceId(inst), name, v),
+                BufOp::Histo(inst, name, v) => stats.histo(InstanceId(inst), name, v),
+            }
+        }
+        if first_err.is_none() {
+            first_err = ch.err.take();
+        }
+    }
+    match first_err {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
 /// Invoke one instance's `react` handler with a context over the shared
 /// store (free function so callers can borrow disjoint simulator fields).
 /// Monomorphized on probe presence and resilience: with
 /// `PROBED = RESIL = false` neither the probe branches nor the fault /
+/// React one *straight* plan node on the probe-off, fault-off path: no
+/// wake bookkeeping (its readers are all later plan nodes), no newly
+/// list, no catch_unwind — the minimal cost of invoking a handler.
+#[inline]
+fn react_straight(
+    topo: &Topology,
+    modules: &mut [Box<dyn Module>],
+    store: &mut SignalStore,
+    stats: &mut Stats,
+    now: u64,
+    i: usize,
+) -> Result<(), SimError> {
+    // `metrics.reacts` is batch-incremented by the caller per straight
+    // segment (the count is known from the plan), not here per react.
+    let inst = InstanceId(i as u32);
+    let mut ctx = ReactCtx {
+        inst,
+        info: topo.instance(inst),
+        pmeta: topo.hot_ports(inst),
+        eflat: topo.edges_flat(),
+        sink: CtxSink::Fast {
+            store: &mut *store,
+            stats: &mut *stats,
+        },
+        now,
+        faults: None,
+        osc: None,
+    };
+    modules[i].react(&mut ctx)
+}
+
 /// watchdog / quarantine machinery exist in the generated code.
 #[allow(clippy::too_many_arguments)]
 fn react_one<const PROBED: bool, const RESIL: bool>(
@@ -874,9 +1457,13 @@ fn react_one<const PROBED: bool, const RESIL: bool>(
             let mut ctx = ReactCtx {
                 inst,
                 info: topo.instance(inst),
-                store,
-                stats,
-                newly,
+                pmeta: topo.hot_ports(inst),
+                eflat: topo.edges_flat(),
+                sink: CtxSink::Direct {
+                    store: &mut *store,
+                    stats: &mut *stats,
+                    newly: &mut *newly,
+                },
                 now,
                 faults,
                 osc: if tolerant { Some(osc) } else { None },
@@ -889,9 +1476,13 @@ fn react_one<const PROBED: bool, const RESIL: bool>(
             let mut ctx = ReactCtx {
                 inst,
                 info: topo.instance(inst),
-                store,
-                stats,
-                newly,
+                pmeta: topo.hot_ports(inst),
+                eflat: topo.edges_flat(),
+                sink: CtxSink::Direct {
+                    store: &mut *store,
+                    stats: &mut *stats,
+                    newly: &mut *newly,
+                },
                 now,
                 faults: None,
                 osc: None,
@@ -956,14 +1547,44 @@ fn emit_resolved(
     }
 }
 
+/// Where a [`ReactCtx`]'s effects land: directly in the store (serial
+/// paths) or in a per-partition buffer merged at a level barrier
+/// (parallel bursts, where the store is shared read-only).
+enum CtxSink<'a> {
+    /// Immediate writes with wake bookkeeping.
+    Direct {
+        store: &'a mut SignalStore,
+        stats: &'a mut Stats,
+        newly: &'a mut Vec<(EdgeId, Wire)>,
+    },
+    /// Immediate writes with *no* wake bookkeeping: the compiled
+    /// scheduler's straight-line nodes (probe off, faults off) never
+    /// wake anyone, so recording newly resolved wires would be pure
+    /// overhead on the hottest path in the kernel.
+    Fast {
+        store: &'a mut SignalStore,
+        stats: &'a mut Stats,
+    },
+    /// Deferred effects; no wake bookkeeping (every reader of a burst
+    /// participant's wires sits on a strictly later level).
+    Buffered {
+        store: &'a SignalStore,
+        buf: &'a mut ReactBuffer,
+    },
+}
+
 /// Context handed to [`Module::react`]: resolved-signal reads plus
 /// monotonic wire writes on the reacting instance's own ports.
 pub struct ReactCtx<'a> {
     inst: InstanceId,
     info: &'a InstanceInfo,
-    store: &'a mut SignalStore,
-    stats: &'a mut Stats,
-    newly: &'a mut Vec<(EdgeId, Wire)>,
+    /// This instance's slice of the topology's dense port table — the
+    /// hot-path view of `info`'s port metadata (one or two cache lines
+    /// for a whole netlist's worth of ports).
+    pmeta: &'a [PortMeta],
+    /// The topology-global flattened port→edge slab `pmeta` indexes.
+    eflat: &'a [EdgeId],
+    sink: CtxSink<'a>,
     now: u64,
     /// Active fault table and plan seed; `None` on the fault-off path
     /// (and when this step has no active signal faults).
@@ -991,19 +1612,38 @@ impl<'a> ReactCtx<'a> {
 
     /// Number of connections on a port (0 when left unconnected).
     pub fn width(&self, port: PortId) -> usize {
-        self.info.width(port)
+        self.pmeta[port.0 as usize].len as usize
     }
 
+    #[inline]
     fn edge(&self, port: PortId, index: usize) -> Option<EdgeId> {
-        self.info.edge(port, index)
+        let m = &self.pmeta[port.0 as usize];
+        if (index as u32) < m.len {
+            Some(self.eflat[m.off as usize + index])
+        } else {
+            None
+        }
     }
 
+    /// The store to read resolved signals from (shared by both sinks; the
+    /// buffered sink's deferred writes are invisible here, which is fine —
+    /// a burst participant's readers run on later levels).
+    #[inline]
+    fn st(&self) -> &SignalStore {
+        match &self.sink {
+            CtxSink::Direct { store, .. } => store,
+            CtxSink::Fast { store, .. } => store,
+            CtxSink::Buffered { store, .. } => store,
+        }
+    }
+
+    #[inline]
     fn check_dir(&self, port: PortId, want: Dir) -> Result<(), SimError> {
-        let spec = self.info.spec.port_spec(port);
-        if spec.dir != want {
+        if self.pmeta[port.0 as usize].dir != want {
             return Err(SimError::port(format!(
                 "{}.{}: wrong direction for this operation",
-                self.info.name, spec.name
+                self.info.name,
+                self.info.spec.port_spec(port).name
             )));
         }
         Ok(())
@@ -1011,19 +1651,21 @@ impl<'a> ReactCtx<'a> {
 
     /// The data wire arriving on an input connection. An unconnected or
     /// out-of-range slot reads as `No` — the partial-specification default.
-    /// Returns a clone; `Value` payloads are reference counted, so this is
-    /// cheap.
+    /// Returns a clone; scalar `Value`s are plain copies and the large
+    /// variants are reference counted, so this is cheap.
+    #[inline]
     pub fn data(&self, port: PortId, index: usize) -> Res<Value> {
         match self.edge(port, index) {
-            Some(e) => self.store.data(e),
+            Some(e) => self.st().data(e),
             None => Res::No,
         }
     }
 
     /// The enable wire arriving on an input connection.
+    #[inline]
     pub fn enable(&self, port: PortId, index: usize) -> Res<()> {
         match self.edge(port, index) {
-            Some(e) => self.store.enable(e),
+            Some(e) => self.st().enable(e),
             None => Res::No,
         }
     }
@@ -1044,7 +1686,7 @@ impl<'a> ReactCtx<'a> {
             )));
         }
         Ok(match self.edge(port, index) {
-            Some(e) => self.store.ack(e),
+            Some(e) => self.st().ack(e),
             None => Res::Yes(()),
         })
     }
@@ -1069,48 +1711,117 @@ impl<'a> ReactCtx<'a> {
                 },
             },
         };
-        let result = match &self.osc {
-            None => self.store.write(e, w),
-            Some(_) => self.store.write_tolerant(e, w),
-        };
-        match result {
-            Ok(WriteOutcome::NewlyResolved) => {
-                self.newly.push((e, wire));
+        let tolerant = self.osc.is_some();
+        match &mut self.sink {
+            CtxSink::Fast { store, .. } => match store.write(e, w) {
+                Ok(_) => Ok(()),
+                Err(err) => Err(SimError::contract(format!(
+                    "{} ({}): {err}",
+                    self.info.name, self.info.spec.template
+                ))),
+            },
+            CtxSink::Buffered { buf, .. } => {
+                // Deferred: applied — and contract-checked — at the level
+                // barrier, in plan order. No wake bookkeeping is needed:
+                // every reader of this wire runs on a later level.
+                buf.ops.push(BufOp::Write(self.inst.0, e, w));
                 Ok(())
             }
-            Ok(WriteOutcome::Oscillated) => {
-                if let Some(osc) = self.osc.as_deref_mut() {
-                    *osc.entry((e.0, wire_idx(wire))).or_insert(0) += 1;
+            CtxSink::Direct { store, newly, .. } => {
+                let result = if tolerant {
+                    store.write_tolerant(e, w)
+                } else {
+                    store.write(e, w)
+                };
+                match result {
+                    Ok(WriteOutcome::NewlyResolved) => {
+                        newly.push((e, wire));
+                        Ok(())
+                    }
+                    Ok(WriteOutcome::Oscillated) => {
+                        if let Some(osc) = self.osc.as_deref_mut() {
+                            *osc.entry((e.0, wire_idx(wire))).or_insert(0) += 1;
+                        }
+                        // Re-woken like a fresh resolution: the re-resolved
+                        // value must propagate to readers (and the watchdog
+                        // bounds the resulting iteration).
+                        newly.push((e, wire));
+                        Ok(())
+                    }
+                    Ok(WriteOutcome::Idempotent) => Ok(()),
+                    Err(err) => Err(SimError::contract(format!(
+                        "{} ({}): {err}",
+                        self.info.name, self.info.spec.template
+                    ))),
                 }
-                // Re-woken like a fresh resolution: the re-resolved value
-                // must propagate to readers (and the watchdog bounds the
-                // resulting iteration).
-                self.newly.push((e, wire));
+            }
+        }
+    }
+
+    /// Fused data+enable drive backing [`ReactCtx::send`] /
+    /// [`ReactCtx::send_nothing`]: one edge lookup and one store slot
+    /// access instead of two full write round-trips. Falls back to the
+    /// per-wire path whenever a fault table or oscillation tolerance is
+    /// active — those must see (and may transform) each wire write
+    /// individually.
+    #[inline]
+    fn write_pair(
+        &mut self,
+        port: PortId,
+        index: usize,
+        data: Res<Value>,
+        enable: Res<()>,
+    ) -> Result<(), SimError> {
+        if self.faults.is_some() || self.osc.is_some() {
+            self.write(port, index, WireWrite::Data(data))?;
+            return self.write(port, index, WireWrite::Enable(enable));
+        }
+        let Some(e) = self.edge(port, index) else {
+            return Ok(()); // unconnected: silently accepted (partial spec)
+        };
+        let result = match &mut self.sink {
+            CtxSink::Fast { store, .. } => store.write_pair(e, data, enable).map(|_| ()),
+            CtxSink::Direct { store, newly, .. } => {
+                store.write_pair(e, data, enable).map(|(o1, o2)| {
+                    if o1 == WriteOutcome::NewlyResolved {
+                        newly.push((e, Wire::Data));
+                    }
+                    if o2 == WriteOutcome::NewlyResolved {
+                        newly.push((e, Wire::Enable));
+                    }
+                })
+            }
+            CtxSink::Buffered { buf, .. } => {
+                buf.ops
+                    .push(BufOp::Write(self.inst.0, e, WireWrite::Data(data)));
+                buf.ops
+                    .push(BufOp::Write(self.inst.0, e, WireWrite::Enable(enable)));
                 Ok(())
             }
-            Ok(WriteOutcome::Idempotent) => Ok(()),
-            Err(err) => Err(SimError::contract(format!(
+        };
+        result.map_err(|err| {
+            SimError::contract(format!(
                 "{} ({}): {err}",
                 self.info.name, self.info.spec.template
-            ))),
-        }
+            ))
+        })
     }
 
     /// Send a value on an output connection: drives data `Yes` and enable
     /// `Yes` together (the common case).
+    #[inline]
     pub fn send(&mut self, port: PortId, index: usize, v: Value) -> Result<(), SimError> {
         self.check_dir(port, Dir::Out)?;
-        self.write(port, index, WireWrite::Data(Res::Yes(v)))?;
-        self.write(port, index, WireWrite::Enable(Res::Yes(())))
+        self.write_pair(port, index, Res::Yes(v), Res::Yes(()))
     }
 
     /// Explicitly send nothing on an output connection this time-step:
     /// drives data `No` and enable `No`. Well-behaved modules resolve every
     /// connected output rather than leaving it to the defaults.
+    #[inline]
     pub fn send_nothing(&mut self, port: PortId, index: usize) -> Result<(), SimError> {
         self.check_dir(port, Dir::Out)?;
-        self.write(port, index, WireWrite::Data(Res::No))?;
-        self.write(port, index, WireWrite::Enable(Res::No))
+        self.write_pair(port, index, Res::No, Res::No)
     }
 
     /// Drive only the data wire (control-split protocols that decide enable
@@ -1129,26 +1840,86 @@ impl<'a> ReactCtx<'a> {
 
     /// Drive the ack wire of an input connection: accept (`true`) or
     /// refuse (`false`) the offered data.
+    #[inline]
     pub fn set_ack(&mut self, port: PortId, index: usize, accept: bool) -> Result<(), SimError> {
         self.check_dir(port, Dir::In)?;
         let r = if accept { Res::Yes(()) } else { Res::No };
         self.write(port, index, WireWrite::Ack(r))
     }
 
+    /// Fused receive: drive the ack wire of an input connection *and*
+    /// read its data wire in one store access — the receiver-side twin
+    /// of [`ReactCtx::send`]'s fused data+enable drive, and the idiom
+    /// for the overwhelmingly common "accept whatever arrives, then look
+    /// at it" receiver. Exactly equivalent to
+    /// [`ReactCtx::set_ack`] followed by [`ReactCtx::data`].
+    /// An unconnected slot reads as `No` (the ack is silently accepted).
+    #[inline]
+    pub fn recv(
+        &mut self,
+        port: PortId,
+        index: usize,
+        accept: bool,
+    ) -> Result<Res<Value>, SimError> {
+        self.check_dir(port, Dir::In)?;
+        let r = if accept { Res::Yes(()) } else { Res::No };
+        let Some(e) = self.edge(port, index) else {
+            return Ok(Res::No); // unconnected: partial-spec default
+        };
+        // Faults and oscillation tolerance must see the individual ack
+        // write (to transform or count it), so take the per-wire path.
+        if self.faults.is_some() || self.osc.is_some() {
+            self.write(port, index, WireWrite::Ack(r))?;
+            return Ok(self.st().data(e));
+        }
+        let result = match &mut self.sink {
+            CtxSink::Fast { store, .. } => store.recv(e, r).map(|(_, d)| d),
+            CtxSink::Direct { store, newly, .. } => store.recv(e, r).map(|(o, d)| {
+                if o == WriteOutcome::NewlyResolved {
+                    newly.push((e, Wire::Ack));
+                }
+                d
+            }),
+            CtxSink::Buffered { store, buf } => {
+                buf.ops
+                    .push(BufOp::Write(self.inst.0, e, WireWrite::Ack(r)));
+                Ok(store.data(e))
+            }
+        };
+        result.map_err(|err| {
+            SimError::contract(format!(
+                "{} ({}): {err}",
+                self.info.name, self.info.spec.template
+            ))
+        })
+    }
+
     /// Add to one of this instance's counters.
     pub fn count(&mut self, name: &'static str, by: u64) {
-        self.stats.count(self.inst, name, by);
+        match &mut self.sink {
+            CtxSink::Direct { stats, .. } => stats.count(self.inst, name, by),
+            CtxSink::Fast { stats, .. } => stats.count(self.inst, name, by),
+            CtxSink::Buffered { buf, .. } => buf.ops.push(BufOp::Count(self.inst.0, name, by)),
+        }
     }
 
     /// Record a sample on one of this instance's sampled stats.
     pub fn sample(&mut self, name: &'static str, v: f64) {
-        self.stats.sample(self.inst, name, v);
+        match &mut self.sink {
+            CtxSink::Direct { stats, .. } => stats.sample(self.inst, name, v),
+            CtxSink::Fast { stats, .. } => stats.sample(self.inst, name, v),
+            CtxSink::Buffered { buf, .. } => buf.ops.push(BufOp::Sample(self.inst.0, name, v)),
+        }
     }
 
     /// Record a value into one of this instance's log2-bucket histograms
     /// (latency/occupancy distributions, not just min/mean/max).
     pub fn histo(&mut self, name: &'static str, v: u64) {
-        self.stats.histo(self.inst, name, v);
+        match &mut self.sink {
+            CtxSink::Direct { stats, .. } => stats.histo(self.inst, name, v),
+            CtxSink::Fast { stats, .. } => stats.histo(self.inst, name, v),
+            CtxSink::Buffered { buf, .. } => buf.ops.push(BufOp::Histo(self.inst.0, name, v)),
+        }
     }
 }
 
@@ -1323,13 +2094,14 @@ mod tests {
     #[test]
     fn gated_commit_set_is_scheduler_independent() {
         let mut commits = Vec::new();
-        for sched in [SchedKind::Sweep, SchedKind::Dynamic, SchedKind::Static] {
+        for sched in ALL_SCHEDS {
             let mut sim = even_pair(sched);
             sim.run(9).unwrap();
             commits.push(sim.metrics().commits);
         }
-        assert_eq!(commits[0], commits[1]);
-        assert_eq!(commits[1], commits[2]);
+        for c in &commits[1..] {
+            assert_eq!(*c, commits[0]);
+        }
     }
 
     /// Gated module with internal pending state: a one-slot delay line.
@@ -1489,5 +2261,159 @@ mod tests {
         // (freshen + 3 wire writes) × 8 edges — with no extra reset sweep.
         assert_eq!(sim.store.slot_writes(), writes_per_idle_step * 2);
         assert_eq!(sim.metrics().defaults, 2 * 3 * 8);
+    }
+
+    const ALL_SCHEDS: [SchedKind; 5] = [
+        SchedKind::Sweep,
+        SchedKind::Dynamic,
+        SchedKind::Static,
+        SchedKind::Compiled,
+        SchedKind::CompiledParallel,
+    ];
+
+    #[test]
+    fn compiled_schedulers_match_dynamic_on_gated_pair() {
+        let mut reference = even_pair(SchedKind::Dynamic);
+        reference.run(10).unwrap();
+        for sched in [SchedKind::Compiled, SchedKind::CompiledParallel] {
+            let mut sim = even_pair(sched);
+            assert!(sim.compiled_plan().is_some());
+            sim.run(10).unwrap();
+            let k = sim.instance_by_name("k").unwrap();
+            assert_eq!(sim.stats().counter(k, "received"), 5, "{sched:?}");
+            assert_eq!(sim.metrics().commits, reference.metrics().commits);
+            assert_eq!(sim.metrics().defaults, reference.metrics().defaults);
+            assert_eq!(sim.transfer_counts(), reference.transfer_counts());
+            // One react per instance per step on an acyclic net: the
+            // whole point of the compiled plan.
+            assert_eq!(sim.metrics().reacts, 2 * 10, "{sched:?}");
+        }
+    }
+
+    /// A wide two-level netlist (N independent source->sink pairs) so the
+    /// parallel scheduler actually bursts: each level has 8 straight
+    /// nodes, split across 2-3 chunks at parallelism 3.
+    fn wide_pairs(sched: SchedKind, n: usize) -> Simulator {
+        let mut b = NetlistBuilder::new();
+        for p in 0..n {
+            let s = b
+                .add(
+                    format!("s{p}"),
+                    ModuleSpec::new("esrc").output("out", 1, 1),
+                    Box::new(EvenSrc),
+                )
+                .unwrap();
+            let k = b
+                .add(format!("k{p}"), gated_sink_spec(), Box::new(GatedSink))
+                .unwrap();
+            b.connect(s, "out", k, "in").unwrap();
+        }
+        Simulator::new(b.build().unwrap(), sched)
+    }
+
+    #[test]
+    fn parallel_level_bursts_merge_identically() {
+        let mut reference = wide_pairs(SchedKind::Dynamic, 8);
+        reference.run(9).unwrap();
+        let mut sim = wide_pairs(SchedKind::CompiledParallel, 8);
+        sim.set_parallelism(3);
+        sim.run(9).unwrap();
+        assert_eq!(sim.transfer_counts(), reference.transfer_counts());
+        assert_eq!(sim.metrics().commits, reference.metrics().commits);
+        assert_eq!(sim.metrics().defaults, reference.metrics().defaults);
+        for p in 0..8 {
+            let k = sim.instance_by_name(&format!("k{p}")).unwrap();
+            assert_eq!(
+                sim.stats().counter(k, "received"),
+                reference.stats().counter(k, "received")
+            );
+        }
+        // Burst or not, every instance reacts exactly once per step.
+        let mut serial = wide_pairs(SchedKind::Compiled, 8);
+        serial.run(9).unwrap();
+        assert_eq!(sim.metrics().reacts, serial.metrics().reacts);
+        assert_eq!(sim.report(), serial.report());
+    }
+
+    /// A two-instance data cycle that settles: `a` drives unconditionally
+    /// (breaking the cycle), `b` forwards once its input resolves.
+    struct CycleDriver;
+    impl Module for CycleDriver {
+        fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+            ctx.send(PortId(1), 0, Value::Word(7))?;
+            ctx.set_ack(PortId(0), 0, true)
+        }
+        fn commit(&mut self, ctx: &mut CommitCtx<'_>) -> Result<(), SimError> {
+            if ctx.transferred_in(PortId(0), 0).is_some() {
+                ctx.count("got", 1);
+            }
+            Ok(())
+        }
+    }
+    struct CycleForward;
+    impl Module for CycleForward {
+        fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+            ctx.set_ack(PortId(0), 0, true)?;
+            if let Res::Yes(v) = ctx.data(PortId(0), 0) {
+                ctx.send(PortId(1), 0, v)?;
+            }
+            Ok(())
+        }
+        fn commit(&mut self, ctx: &mut CommitCtx<'_>) -> Result<(), SimError> {
+            if ctx.transferred_in(PortId(0), 0).is_some() {
+                ctx.count("fwd", 1);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn island_fixed_point_matches_under_every_scheduler() {
+        let build = |sched| {
+            let mut b = NetlistBuilder::new();
+            let spec = |t: &str| ModuleSpec::new(t).input("in", 1, 1).output("out", 1, 1);
+            let a = b.add("a", spec("cyca"), Box::new(CycleDriver)).unwrap();
+            let c = b.add("c", spec("cycb"), Box::new(CycleForward)).unwrap();
+            b.connect(a, "out", c, "in").unwrap();
+            b.connect(c, "out", a, "in").unwrap();
+            Simulator::new(b.build().unwrap(), sched)
+        };
+        let mut reports = Vec::new();
+        for sched in ALL_SCHEDS {
+            let mut sim = build(sched);
+            if matches!(sched, SchedKind::Compiled | SchedKind::CompiledParallel) {
+                let plan = sim.compiled_plan().unwrap();
+                assert_eq!(plan.island_count(), 1, "the 2-cycle is one island");
+            }
+            sim.run(6).unwrap();
+            assert_eq!(sim.transfer_counts(), &[6, 6], "{sched:?}");
+            reports.push(sim.report());
+        }
+        for r in &reports[1..] {
+            assert_eq!(*r, reports[0]);
+        }
+    }
+
+    #[test]
+    fn worklist_allocation_reaches_steady_state() {
+        // Satellite guarantee: after warm-up, steps allocate nothing in
+        // the worklists — capacities stop moving no matter how long the
+        // run continues.
+        for sched in [SchedKind::Dynamic, SchedKind::Static, SchedKind::Compiled] {
+            let mut sim = wide_pairs(sched, 8);
+            sim.run(4).unwrap();
+            let cap = (
+                sim.work.fifo.capacity(),
+                sim.work.ranked.as_ref().map(|q| q.allocated_capacity()),
+                sim.wake_buf.capacity(),
+            );
+            sim.run(64).unwrap();
+            let after = (
+                sim.work.fifo.capacity(),
+                sim.work.ranked.as_ref().map(|q| q.allocated_capacity()),
+                sim.wake_buf.capacity(),
+            );
+            assert_eq!(cap, after, "{sched:?}");
+        }
     }
 }

@@ -19,10 +19,12 @@
 //! * the layered kernel — [`topology`] (immutable structure: CSR wake
 //!   tables, flattened port slabs, cached static ranks), [`store`] (the
 //!   epoch-stamped per-timestep signal arena with O(1) reset), and
-//!   [`exec`] (the three schedulers, default control semantics for
+//!   [`exec`] (the five schedulers, default control semantics for
 //!   partial specifications, and the activity-gated commit phase);
 //! * [`sched`] — the static netlist analysis that accelerates the reaction
-//!   phase (paper ref [22]);
+//!   phase (paper ref [22]) — and [`compile`], which condenses that
+//!   analysis into a [`compile::CompiledPlan`] executed without any
+//!   per-step worklist (plus a level-parallel variant);
 //! * the observability layer — [`probe`] (the `Probe` event-stream trait
 //!   with zero cost when absent), [`trace`] (text + JSONL sinks),
 //!   [`vcd`] (GTKWave waveforms) and [`profile`] (per-module hot spots);
@@ -67,12 +69,14 @@
 
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod error;
 pub mod exec;
 pub mod fault;
 pub mod module;
 pub mod netlist;
 pub mod params;
+mod pool;
 pub mod probe;
 pub mod profile;
 pub mod registry;
@@ -87,6 +91,7 @@ pub mod vcd;
 
 /// Convenience re-exports for module and system authors.
 pub mod prelude {
+    pub use crate::compile::{CompiledPlan, PlanLevel, PlanNode};
     pub use crate::error::{DivergenceInfo, OscillatingWire, PanicInfo, SimError};
     pub use crate::exec::{CommitCtx, EngineMetrics, ReactCtx, SchedKind, Simulator, Tracer};
     pub use crate::fault::{

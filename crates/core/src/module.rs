@@ -67,6 +67,9 @@ pub struct ModuleSpec {
     /// report [`Module::pending`] internal state. See the contract on
     /// [`ModuleSpec::commit_only_when_active`].
     pub commit_only_when_active: bool,
+    /// True if this template's `commit` is *always* a no-op — the kernel
+    /// then never calls it at all. See [`ModuleSpec::no_commit`].
+    pub commit_is_noop: bool,
 }
 
 impl ModuleSpec {
@@ -77,6 +80,7 @@ impl ModuleSpec {
             ports: Vec::new(),
             reads_ack_in_react: false,
             commit_only_when_active: false,
+            commit_is_noop: false,
         }
     }
 
@@ -119,6 +123,18 @@ impl ModuleSpec {
     /// under every scheduler.
     pub fn commit_only_when_active(mut self) -> Self {
         self.commit_only_when_active = true;
+        self
+    }
+
+    /// Declare that this template's `commit` handler does nothing —
+    /// stateless combinational modules (forwarders, muxes, arithmetic)
+    /// whose entire behavior lives in `react`. The kernel then skips the
+    /// commit call entirely, every step, removing a virtual dispatch per
+    /// instance per step from the hot loop. Stronger than
+    /// [`ModuleSpec::commit_only_when_active`]: the promise is
+    /// unconditional, so [`Module::pending`] is never consulted either.
+    pub fn no_commit(mut self) -> Self {
+        self.commit_is_noop = true;
         self
     }
 

@@ -17,32 +17,52 @@ use crate::netlist::InstanceId;
 use crate::topology::Topology;
 use std::collections::VecDeque;
 
-/// Compute the scheduling rank of every instance: the topological rank of
-/// its SCC in the dependency-graph condensation. Usually reached through
-/// [`Topology::ranks`], which caches the result.
-pub fn compute_ranks(topo: &Topology) -> Vec<u32> {
+/// The instance-level dependency graph the static analyses share.
+///
+/// `adj[u]` lists the instances that depend on `u` (must react after it);
+/// self-edges are excluded from `adj` but recorded in `self_loop`, because
+/// an instance connected to itself reacts to its own writes — a singleton
+/// cycle the schedule compiler must treat as an island even though Tarjan
+/// reports a singleton component.
+pub(crate) struct DepGraph {
+    pub(crate) adj: Vec<Vec<u32>>,
+    pub(crate) self_loop: Vec<bool>,
+}
+
+/// Build the dependency graph: data and enable wires order sender before
+/// receiver; ack wires order receiver before sender only when the sender
+/// declared it reads acks in `react`.
+pub(crate) fn dep_graph(topo: &Topology) -> DepGraph {
     let n = topo.instance_count();
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut self_loop = vec![false; n];
     for e in topo.edge_metas() {
         let u = e.src.inst.0 as usize;
         let v = e.dst.inst.0;
         // Receiver depends on sender's data/enable.
         if u as u32 != v {
             adj[u].push(v);
+        } else {
+            self_loop[u] = true;
         }
         // Sender depends on receiver's ack only if it reads acks reactively.
-        if topo.instance(InstanceId(u as u32)).spec.reads_ack_in_react && v as usize != u {
-            adj[v as usize].push(u as u32);
+        if topo.instance(InstanceId(u as u32)).spec.reads_ack_in_react {
+            if v as usize != u {
+                adj[v as usize].push(u as u32);
+            } else {
+                self_loop[u] = true;
+            }
         }
     }
     for a in &mut adj {
         a.sort_unstable();
         a.dedup();
     }
-    let comp = tarjan_scc(&adj);
-    let n_comp = comp.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    DepGraph { adj, self_loop }
+}
 
-    // Condensation edges + Kahn topological ranking (longest-path rank).
+/// Longest-path topological rank of each condensation component (Kahn).
+pub(crate) fn condensation_ranks(adj: &[Vec<u32>], comp: &[u32], n_comp: usize) -> Vec<u32> {
     let mut cadj: Vec<Vec<u32>> = vec![Vec::new(); n_comp];
     let mut indeg = vec![0u32; n_comp];
     for (u, outs) in adj.iter().enumerate() {
@@ -76,13 +96,24 @@ pub fn compute_ranks(topo: &Topology) -> Vec<u32> {
             }
         }
     }
+    rank
+}
+
+/// Compute the scheduling rank of every instance: the topological rank of
+/// its SCC in the dependency-graph condensation. Usually reached through
+/// [`Topology::ranks`], which caches the result.
+pub fn compute_ranks(topo: &Topology) -> Vec<u32> {
+    let g = dep_graph(topo);
+    let comp = tarjan_scc(&g.adj);
+    let n_comp = comp.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let rank = condensation_ranks(&g.adj, &comp, n_comp);
     comp.iter().map(|&c| rank[c as usize]).collect()
 }
 
 /// Iterative Tarjan SCC. Returns the component id of each node; component
 /// ids are assigned in reverse topological order of discovery, but callers
 /// only rely on ids being equal within one SCC.
-fn tarjan_scc(adj: &[Vec<u32>]) -> Vec<u32> {
+pub(crate) fn tarjan_scc(adj: &[Vec<u32>]) -> Vec<u32> {
     let n = adj.len();
     const UNSET: u32 = u32::MAX;
     let mut index = vec![UNSET; n];
@@ -210,6 +241,13 @@ impl RankQueue {
     /// True when nothing is queued.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Total heap capacity currently allocated across the rank buckets.
+    /// Steady-state tests assert this stops growing once the queue is
+    /// warm — the worklist must reuse its allocations across time-steps.
+    pub fn allocated_capacity(&self) -> usize {
+        self.buckets.iter().map(|b| b.capacity()).sum()
     }
 }
 

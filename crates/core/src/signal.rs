@@ -170,6 +170,42 @@ impl SignalState {
         }
     }
 
+    /// Apply a [`WireWrite`] to a freshly reset state. The caller (the
+    /// store's first-touch fast path) guarantees all three wires are
+    /// `Unknown`, so the monotonicity comparison — and, for `Value`
+    /// payloads, the deep equality walk it implies — is skipped entirely.
+    /// Driving a wire to `Unknown` is still rejected.
+    #[inline]
+    pub(crate) fn resolve_first(&mut self, w: WireWrite) -> Result<(), SimError> {
+        let unknown = matches!(
+            &w,
+            WireWrite::Data(Res::Unknown)
+                | WireWrite::Enable(Res::Unknown)
+                | WireWrite::Ack(Res::Unknown)
+        );
+        if unknown {
+            return Err(SimError::contract(format!(
+                "attempt to drive {:?} back to Unknown",
+                w.wire()
+            )));
+        }
+        match w {
+            WireWrite::Data(v) => {
+                debug_assert!(!self.data.is_resolved(), "first-touch contract");
+                self.data = v;
+            }
+            WireWrite::Enable(v) => {
+                debug_assert!(!self.enable.is_resolved(), "first-touch contract");
+                self.enable = v;
+            }
+            WireWrite::Ack(v) => {
+                debug_assert!(!self.ack.is_resolved(), "first-touch contract");
+                self.ack = v;
+            }
+        }
+        Ok(())
+    }
+
     fn write_wire<T: PartialEq + std::fmt::Debug>(
         slot: &mut Res<T>,
         v: Res<T>,

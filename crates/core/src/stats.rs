@@ -297,8 +297,9 @@ impl Stats {
     }
 }
 
-/// Flattened, serializable statistics report.
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+/// Flattened, serializable statistics report. `PartialEq` so equivalence
+/// tests can compare final architectural state across schedulers.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct StatsReport {
     /// `instance.stat -> count`.
     pub counters: BTreeMap<String, u64>,

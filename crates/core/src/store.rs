@@ -41,6 +41,10 @@ pub struct SignalStore {
     epoch: u64,
     transfers: Vec<EdgeId>,
     slot_writes: u64,
+    /// Wires newly resolved this step. Monotonicity bounds it by
+    /// `3 * len()`; hitting that bound means every wire is resolved and
+    /// the default phase has nothing to sweep for.
+    resolved: u64,
     /// Set when an oscillation-tolerant write re-resolved a wire this
     /// step: the transfer list may then hold duplicates or stale entries
     /// and must be repaired by [`SignalStore::finalize_transfers`].
@@ -55,6 +59,7 @@ impl SignalStore {
             epoch: 1,
             transfers: Vec::new(),
             slot_writes: 0,
+            resolved: 0,
             osc_dirty: false,
         }
     }
@@ -74,7 +79,17 @@ impl SignalStore {
     pub fn begin_step(&mut self) {
         self.epoch += 1;
         self.transfers.clear();
+        self.resolved = 0;
         self.osc_dirty = false;
+    }
+
+    /// True once every wire of every edge resolved this step — the
+    /// default phase can then skip its cursor sweep entirely. Oscillation
+    /// breaks the one-resolution-per-wire invariant the counter relies
+    /// on, so a dirtied step conservatively reports `false`.
+    #[inline]
+    pub fn fully_resolved_step(&self) -> bool {
+        !self.osc_dirty && self.resolved == 3 * self.slots.len() as u64
     }
 
     #[inline]
@@ -139,6 +154,7 @@ impl SignalStore {
         let outcome = f(&mut slot.state)?;
         if outcome == WriteOutcome::NewlyResolved {
             self.slot_writes += 1;
+            self.resolved += 1;
             if slot.state.transfers() {
                 self.transfers.push(e);
             }
@@ -149,9 +165,138 @@ impl SignalStore {
     /// Apply a [`WireWrite`] under the strict monotonic discipline,
     /// maintaining the per-step transfer list like
     /// [`SignalStore::write_with`].
+    ///
+    /// First-touch fast path: when the slot is stale (this is the first
+    /// write on the edge this step), all three wires are by definition
+    /// `Unknown`, so the write can neither conflict (no monotonicity
+    /// comparison — for `Value` payloads that comparison is a deep
+    /// equality walk) nor complete the three-way handshake (no transfer
+    /// probe). The module hot path — one fresh resolution per wire per
+    /// step — therefore runs branch-light and, for scalar values, without
+    /// touching any `Arc` refcount.
     #[inline]
     pub fn write(&mut self, e: EdgeId, w: WireWrite) -> Result<WriteOutcome, SimError> {
-        self.write_with(e, |s| s.write(w))
+        let slot = &mut self.slots[e.0 as usize];
+        if slot.stamp != self.epoch {
+            slot.state.reset();
+            slot.stamp = self.epoch;
+            self.slot_writes += 1;
+            slot.state.resolve_first(w)?;
+            self.slot_writes += 1;
+            self.resolved += 1;
+            return Ok(WriteOutcome::NewlyResolved);
+        }
+        let outcome = slot.state.write(w)?;
+        if outcome == WriteOutcome::NewlyResolved {
+            self.slot_writes += 1;
+            self.resolved += 1;
+            if slot.state.transfers() {
+                self.transfers.push(e);
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Apply the sender's data and enable wires in one slot access — the
+    /// fused form of `ctx.send` / `ctx.send_nothing`, the hottest write
+    /// in the kernel. On first touch (the overwhelmingly common case:
+    /// one sender resolving its output exactly once per step) this costs
+    /// a single stamp check and no monotonicity comparison; a fresh slot
+    /// falls back to two strict per-wire writes. The ack wire is
+    /// necessarily `Unknown` on the first-touch path, so no transfer can
+    /// complete there and the transfer-list probe is skipped too.
+    #[inline]
+    pub fn write_pair(
+        &mut self,
+        e: EdgeId,
+        data: Res<Value>,
+        enable: Res<()>,
+    ) -> Result<(WriteOutcome, WriteOutcome), SimError> {
+        if matches!(data, Res::Unknown) || matches!(enable, Res::Unknown) {
+            return Err(SimError::contract(
+                "attempt to drive a sender wire back to Unknown".to_owned(),
+            ));
+        }
+        let SignalStore {
+            slots,
+            epoch,
+            transfers,
+            slot_writes,
+            resolved,
+            ..
+        } = self;
+        let slot = &mut slots[e.0 as usize];
+        if slot.stamp != *epoch {
+            slot.state.reset();
+            slot.stamp = *epoch;
+            slot.state.data = data;
+            slot.state.enable = enable;
+            *slot_writes += 3;
+            *resolved += 2;
+            return Ok((WriteOutcome::NewlyResolved, WriteOutcome::NewlyResolved));
+        }
+        let o1 = slot.state.write_data(data)?;
+        if o1 == WriteOutcome::NewlyResolved {
+            *slot_writes += 1;
+            *resolved += 1;
+            if slot.state.transfers() {
+                transfers.push(e);
+            }
+        }
+        let o2 = slot.state.write_enable(enable)?;
+        if o2 == WriteOutcome::NewlyResolved {
+            *slot_writes += 1;
+            *resolved += 1;
+            if slot.state.transfers() {
+                transfers.push(e);
+            }
+        }
+        Ok((o1, o2))
+    }
+
+    /// Fused receiver operation: drive the ack wire and read the data
+    /// wire in one slot access — the store half of `ReactCtx::recv`.
+    /// Exactly equivalent to a strict ack write followed by a data read,
+    /// just without the second slot lookup.
+    #[inline]
+    pub fn recv(
+        &mut self,
+        e: EdgeId,
+        ack: Res<()>,
+    ) -> Result<(WriteOutcome, Res<Value>), SimError> {
+        if matches!(ack, Res::Unknown) {
+            return Err(SimError::contract(
+                "attempt to drive Ack back to Unknown".to_owned(),
+            ));
+        }
+        let SignalStore {
+            slots,
+            epoch,
+            transfers,
+            slot_writes,
+            resolved,
+            ..
+        } = self;
+        let slot = &mut slots[e.0 as usize];
+        if slot.stamp != *epoch {
+            slot.state.reset();
+            slot.stamp = *epoch;
+            slot.state.ack = ack;
+            *slot_writes += 2;
+            *resolved += 1;
+            // Data and enable are Unknown on a freshly reset slot: no
+            // transfer can have completed, and the data read is Unknown.
+            return Ok((WriteOutcome::NewlyResolved, Res::Unknown));
+        }
+        let o = slot.state.write_ack(ack)?;
+        if o == WriteOutcome::NewlyResolved {
+            *slot_writes += 1;
+            *resolved += 1;
+            if slot.state.transfers() {
+                transfers.push(e);
+            }
+        }
+        Ok((o, slot.state.data.clone()))
     }
 
     /// Apply a [`WireWrite`] tolerating oscillation (see
@@ -172,6 +317,7 @@ impl SignalStore {
         match outcome {
             WriteOutcome::NewlyResolved => {
                 self.slot_writes += 1;
+                self.resolved += 1;
                 if slot.state.transfers() {
                     self.transfers.push(e);
                 }

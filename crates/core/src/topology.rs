@@ -23,11 +23,12 @@
 //! the signal valuation lives in [`crate::store::SignalStore`] and the
 //! execution policy in [`crate::exec::Simulator`].
 
-use crate::module::{ModuleSpec, PortId};
+use crate::compile::CompiledPlan;
+use crate::module::{Dir, ModuleSpec, PortId};
 use crate::netlist::{EdgeId, EdgeMeta, InstanceId, InstanceMeta};
 use crate::signal::Wire;
 use std::collections::BTreeMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Immutable per-instance metadata with the flattened port→edge slab.
 #[derive(Debug)]
@@ -40,6 +41,10 @@ pub struct InstanceInfo {
     /// edges in connection-index order.
     port_offsets: Vec<u32>,
     port_edges: Vec<EdgeId>,
+    /// Port directions, flattened out of the spec's `PortSpec` array so
+    /// the per-drive direction check is a single dense load instead of a
+    /// walk through the (string-bearing, ~40-byte stride) spec entries.
+    port_dirs: Vec<Dir>,
 }
 
 impl InstanceInfo {
@@ -51,11 +56,13 @@ impl InstanceInfo {
             port_edges.extend_from_slice(port);
             port_offsets.push(port_edges.len() as u32);
         }
+        let port_dirs = meta.spec.ports.iter().map(|p| p.dir).collect();
         InstanceInfo {
             name: meta.name,
             spec: meta.spec,
             port_offsets,
             port_edges,
+            port_dirs,
         }
     }
 
@@ -77,6 +84,29 @@ impl InstanceInfo {
     pub fn edge(&self, port: PortId, index: usize) -> Option<EdgeId> {
         self.port_edges(port).get(index).copied()
     }
+
+    /// The direction of a port (dense lookup; panics on a bad id, like
+    /// [`ModuleSpec::port_spec`]).
+    #[inline]
+    pub fn port_dir(&self, port: PortId) -> Dir {
+        self.port_dirs[port.0 as usize]
+    }
+}
+
+/// Hot per-port metadata, packed into one topology-global dense slab
+/// (see [`Topology::hot_ports`]): the fields every `ReactCtx` drive or
+/// read needs, without chasing the per-instance `InstanceInfo` heap
+/// vectors. For a whole netlist this fits in a few KB of contiguous
+/// memory, where the scattered `InstanceInfo` path touches several cache
+/// lines per instance.
+#[derive(Clone, Copy, Debug)]
+pub struct PortMeta {
+    /// First edge of this port in [`Topology::edges_flat`].
+    pub off: u32,
+    /// Number of connections on this port.
+    pub len: u32,
+    /// Port direction.
+    pub dir: Dir,
 }
 
 /// One compressed-sparse-row adjacency: `readers(e)` is the slice of
@@ -130,7 +160,24 @@ pub struct Topology {
     /// Per instance: true when the template opted into activity-gated
     /// commit via [`ModuleSpec::commit_only_when_active`].
     commit_gated: Vec<bool>,
+    /// Per instance: true when the template declared its commit a no-op
+    /// via [`crate::module::ModuleSpec::no_commit`].
+    commit_noop: Vec<bool>,
+    /// True when at least one instance is activity-gated — lets the
+    /// commit phase skip per-transfer endpoint marking entirely when
+    /// nobody consumes it.
+    any_commit_gated: bool,
+    /// True when *every* template declared `no_commit` — the commit
+    /// phase then skips its instance sweep outright.
+    all_commit_noop: bool,
+    /// Dense hot-path port metadata: instance `i`'s ports are
+    /// `ports_flat[inst_port_base[i] .. inst_port_base[i+1]]`, and each
+    /// entry's `off`/`len` index [`Topology::edges_flat`].
+    ports_flat: Vec<PortMeta>,
+    inst_port_base: Vec<u32>,
+    edges_flat: Vec<EdgeId>,
     ranks: OnceLock<Vec<u32>>,
+    plan: OnceLock<Arc<CompiledPlan>>,
 }
 
 impl Topology {
@@ -148,18 +195,45 @@ impl Topology {
         let wake_data = Csr::build(n_edges, &data_pairs);
         let wake_enable = Csr::build(n_edges, &data_pairs);
         let wake_ack = Csr::build(n_edges, &ack_pairs);
-        let commit_gated = instances
+        let commit_gated: Vec<bool> = instances
             .iter()
             .map(|m| m.spec.commit_only_when_active)
             .collect();
+        let commit_noop: Vec<bool> = instances.iter().map(|m| m.spec.commit_is_noop).collect();
+        let any_commit_gated = commit_gated.iter().any(|&g| g);
+        let all_commit_noop = commit_noop.iter().all(|&g| g);
+        let insts: Vec<InstanceInfo> = instances.into_iter().map(InstanceInfo::from_meta).collect();
+        let mut ports_flat = Vec::new();
+        let mut inst_port_base = Vec::with_capacity(insts.len() + 1);
+        let mut edges_flat = Vec::new();
+        inst_port_base.push(0);
+        for info in &insts {
+            for (p, spec) in info.spec.ports.iter().enumerate() {
+                let es = info.port_edges(PortId(p as u16));
+                ports_flat.push(PortMeta {
+                    off: edges_flat.len() as u32,
+                    len: es.len() as u32,
+                    dir: spec.dir,
+                });
+                edges_flat.extend_from_slice(es);
+            }
+            inst_port_base.push(ports_flat.len() as u32);
+        }
         Topology {
-            insts: instances.into_iter().map(InstanceInfo::from_meta).collect(),
+            insts,
             edges,
             wake_data,
             wake_enable,
             wake_ack,
             commit_gated,
+            commit_noop,
+            any_commit_gated,
+            all_commit_noop,
+            ports_flat,
+            inst_port_base,
+            edges_flat,
             ranks: OnceLock::new(),
+            plan: OnceLock::new(),
         }
     }
 
@@ -177,6 +251,21 @@ impl Topology {
     #[inline]
     pub fn instance(&self, inst: InstanceId) -> &InstanceInfo {
         &self.insts[inst.0 as usize]
+    }
+
+    /// The dense hot-path port table of one instance (entries index
+    /// [`Topology::edges_flat`]).
+    #[inline]
+    pub fn hot_ports(&self, inst: InstanceId) -> &[PortMeta] {
+        let i = inst.0 as usize;
+        &self.ports_flat[self.inst_port_base[i] as usize..self.inst_port_base[i + 1] as usize]
+    }
+
+    /// The topology-global flattened port→edge slab that
+    /// [`Topology::hot_ports`] entries index into.
+    #[inline]
+    pub fn edges_flat(&self) -> &[EdgeId] {
+        &self.edges_flat
     }
 
     /// Static metadata of one connection.
@@ -205,6 +294,25 @@ impl Topology {
     #[inline]
     pub fn commit_gated(&self, inst: usize) -> bool {
         self.commit_gated[inst]
+    }
+
+    /// True when the instance's template declared its commit a no-op.
+    #[inline]
+    pub fn commit_noop(&self, inst: usize) -> bool {
+        self.commit_noop[inst]
+    }
+
+    /// True when any instance is activity-gated (the commit phase only
+    /// needs per-transfer endpoint marking in that case).
+    #[inline]
+    pub fn any_commit_gated(&self) -> bool {
+        self.any_commit_gated
+    }
+
+    /// True when every template declared its commit a no-op.
+    #[inline]
+    pub fn all_commit_noop(&self) -> bool {
+        self.all_commit_noop
     }
 
     /// Instance name by id.
@@ -240,6 +348,15 @@ impl Topology {
     /// first use and cached for the lifetime of the topology.
     pub fn ranks(&self) -> &[u32] {
         self.ranks.get_or_init(|| crate::sched::compute_ranks(self))
+    }
+
+    /// The compiled static schedule (SCC-condensed invocation plan, paper
+    /// ref [22]); compiled on first use and cached for the lifetime of
+    /// the topology, so every simulator sharing one `Arc<Topology>` runs
+    /// the same plan without re-analysis.
+    pub fn plan(&self) -> &Arc<CompiledPlan> {
+        self.plan
+            .get_or_init(|| Arc::new(CompiledPlan::compile(self)))
     }
 }
 

@@ -50,8 +50,14 @@ where
 /// A dynamically typed value carried on a connection's data signal.
 ///
 /// `Value` is cheap to clone: the variants that can be large (`Tuple`,
-/// `Bytes`, `Str`, `Opaque`) are reference counted or otherwise shared.
-#[derive(Clone, Debug)]
+/// `Bytes`, `Str`, `Opaque`) are reference counted or otherwise shared,
+/// and the scalar variants are plain 16-byte copies. The `Clone` impl is
+/// written out (rather than derived) so the scalar arms are guaranteed to
+/// inline into the kernel's transfer path with no `Arc` refcount traffic
+/// and no allocation — the counting-allocator test in `crates/bench`
+/// (`tests/alloc.rs`) holds the kernel to zero heap activity across a
+/// million word transfers.
+#[derive(Debug)]
 pub enum Value {
     /// A pure token: presence is the information (e.g. a grant wire).
     Unit,
@@ -71,7 +77,34 @@ pub enum Value {
     Opaque(Arc<dyn OpaqueValue>),
 }
 
+impl Clone for Value {
+    #[inline]
+    fn clone(&self) -> Self {
+        match self {
+            Value::Unit => Value::Unit,
+            Value::Bool(b) => Value::Bool(*b),
+            Value::Word(w) => Value::Word(*w),
+            Value::Int(i) => Value::Int(*i),
+            Value::Float(f) => Value::Float(*f),
+            Value::Tuple(t) => Value::Tuple(Arc::clone(t)),
+            Value::Str(s) => Value::Str(Arc::clone(s)),
+            Value::Opaque(o) => Value::Opaque(Arc::clone(o)),
+        }
+    }
+}
+
 impl Value {
+    /// True for the inline scalar variants (`Unit`, `Bool`, `Word`, `Int`,
+    /// `Float`): cloning one is a plain copy — no sharing, no refcounts,
+    /// no allocation.
+    #[inline]
+    pub fn is_scalar(&self) -> bool {
+        matches!(
+            self,
+            Value::Unit | Value::Bool(_) | Value::Word(_) | Value::Int(_) | Value::Float(_)
+        )
+    }
+
     /// Wrap a library-defined payload type into a `Value`.
     pub fn wrap<T>(v: T) -> Self
     where

@@ -13,6 +13,8 @@
 //! --fault-horizon N           fault activity window for --faults (default 64)
 //! --fault-policy P            abort | quarantine (default: quarantine)
 //! --max-iters N               convergence watchdog bound per time-step
+//! --scheduler S               sweep | dynamic | static | compiled | compiled-par
+//! --threads N                 worker threads for --scheduler compiled-par
 //! ```
 //!
 //! Usage inside an example:
@@ -43,17 +45,25 @@ pub struct ObsOpts {
     fault_horizon: u64,
     fault_policy: FailurePolicy,
     max_iters: Option<u64>,
+    sched: Option<SchedKind>,
+    threads: Option<usize>,
     /// Arguments not consumed by the observability layer, in order.
     pub rest: Vec<String>,
 }
 
 /// One line per flag, for embedding in an example's usage message.
-pub const OBS_USAGE: &str = "  --trace             print transfers (cap with --trace-limit N, default 200)\n  --vcd PATH          dump data/enable/ack waveforms for GTKWave\n  --jsonl PATH        stream structured events as JSON lines\n  --profile           print a per-instance hot-spot table at exit\n  --metrics-out PATH  write engine metrics + statistics as JSON\n  --faults SEED       inject a seeded random fault plan (chaos mode)\n  --fault-horizon N   fault activity window for --faults (default 64)\n  --fault-policy P    abort | quarantine on module failure (default quarantine)\n  --max-iters N       convergence watchdog: bound reactions per time-step";
+pub const OBS_USAGE: &str = "  --trace             print transfers (cap with --trace-limit N, default 200)\n  --vcd PATH          dump data/enable/ack waveforms for GTKWave\n  --jsonl PATH        stream structured events as JSON lines\n  --profile           print a per-instance hot-spot table at exit\n  --metrics-out PATH  write engine metrics + statistics as JSON\n  --faults SEED       inject a seeded random fault plan (chaos mode)\n  --fault-horizon N   fault activity window for --faults (default 64)\n  --fault-policy P    abort | quarantine on module failure (default quarantine)\n  --max-iters N       convergence watchdog: bound reactions per time-step\n  --scheduler S       sweep | dynamic | static | compiled | compiled-par\n  --threads N         worker threads for --scheduler compiled-par";
 
 impl ObsOpts {
     /// Parse `std::env::args().skip(1)`.
     pub fn parse_env() -> Result<Self, String> {
         Self::parse(std::env::args().skip(1))
+    }
+
+    /// The scheduler to construct the simulator with: the `--scheduler`
+    /// flag when given, otherwise the example's own default.
+    pub fn sched(&self, default: SchedKind) -> SchedKind {
+        self.sched.unwrap_or(default)
     }
 
     /// Parse an argument stream; unrecognized arguments land in `rest`.
@@ -100,6 +110,29 @@ impl ObsOpts {
                         args.next()
                             .and_then(|v| v.parse().ok())
                             .ok_or("--max-iters requires a number")?,
+                    );
+                }
+                "--scheduler" => {
+                    o.sched = Some(match args.next().as_deref() {
+                        Some("sweep") => SchedKind::Sweep,
+                        Some("dynamic") => SchedKind::Dynamic,
+                        Some("static") => SchedKind::Static,
+                        Some("compiled") => SchedKind::Compiled,
+                        Some("compiled-par") => SchedKind::CompiledParallel,
+                        _ => {
+                            return Err(
+                                "--scheduler requires sweep | dynamic | static | compiled | compiled-par"
+                                    .into(),
+                            )
+                        }
+                    });
+                }
+                "--threads" => {
+                    o.threads = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .ok_or("--threads requires a positive number")?,
                     );
                 }
                 _ if a == "--vcd" || a.starts_with("--vcd=") => {
@@ -160,6 +193,9 @@ impl ObsOpts {
         }
         if let Some(n) = self.max_iters {
             sim.set_watchdog(n);
+        }
+        if let Some(t) = self.threads {
+            sim.set_parallelism(t);
         }
         Ok(ObsSession {
             profile,
@@ -342,6 +378,20 @@ mod tests {
         assert_eq!(o.fault_horizon, 64);
         assert_eq!(o.fault_policy, FailurePolicy::Quarantine);
         assert!(o.max_iters.is_none());
+    }
+
+    #[test]
+    fn parses_scheduler_flags() {
+        let o = parse(&["--scheduler", "compiled-par", "--threads", "4"]);
+        assert_eq!(o.sched(SchedKind::Static), SchedKind::CompiledParallel);
+        assert_eq!(o.threads, Some(4));
+        let o = parse(&["run"]);
+        assert_eq!(o.sched(SchedKind::Static), SchedKind::Static);
+        assert!(o.threads.is_none());
+        assert!(
+            ObsOpts::parse(["--scheduler".to_string(), "magic".to_string()].into_iter()).is_err()
+        );
+        assert!(ObsOpts::parse(["--threads".to_string(), "0".to_string()].into_iter()).is_err());
     }
 
     #[test]

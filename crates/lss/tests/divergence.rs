@@ -1,7 +1,8 @@
 //! The shipped `specs/ring_osc.lss` combinational loop must terminate
 //! with a structured divergence diagnostic — naming the oscillating
-//! wires and the instances on the resolution cycle — under all three
-//! schedulers.
+//! wires and the instances on the resolution cycle — under all five
+//! schedulers (the compiled ones run the ring as a fixed-point island
+//! and reuse the same watchdog machinery).
 
 use liberty_core::prelude::*;
 use liberty_lss::build_simulator;
@@ -21,7 +22,13 @@ fn registry() -> Registry {
 fn ring_oscillator_diverges_under_every_scheduler() {
     let src = ring_src();
     let reg = registry();
-    for sched in [SchedKind::Sweep, SchedKind::Dynamic, SchedKind::Static] {
+    for sched in [
+        SchedKind::Sweep,
+        SchedKind::Dynamic,
+        SchedKind::Static,
+        SchedKind::Compiled,
+        SchedKind::CompiledParallel,
+    ] {
         let (mut sim, report) =
             build_simulator(&src, &reg, "main", &Params::new(), sched).expect("elaborates");
         assert_eq!(report.leaf_instances, 3);

@@ -24,8 +24,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let src = std::fs::read_to_string(&path)?;
     let registry = full_registry();
-    let (mut sim, report) =
-        build_simulator(&src, &registry, "main", &Params::new(), SchedKind::Static)?;
+    let (mut sim, report) = build_simulator(
+        &src,
+        &registry,
+        "main",
+        &Params::new(),
+        opts.sched(SchedKind::Static),
+    )?;
     println!(
         "{path}: constructed {} instances / {} connections from {} template kinds",
         report.leaf_instances,
