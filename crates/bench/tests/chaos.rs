@@ -146,6 +146,78 @@ fn fault_free_control_runs_stay_clean() {
     }
 }
 
+/// Drop `attach` banners (probe re-attachment is a harness event, not a
+/// simulation event) so interrupted and uninterrupted streams compare.
+fn sans_attach(s: &str) -> String {
+    s.lines()
+        .filter(|l| !l.starts_with("{\"t\":\"attach\""))
+        .fold(String::new(), |mut acc, l| {
+            acc.push_str(l);
+            acc.push('\n');
+            acc
+        })
+}
+
+/// Install the same chaos environment `chaos_run` uses: a run-length
+/// seeded plan, quarantine policy, and the watchdog.
+fn arm_chaos(sim: &mut Simulator, seed: u64) {
+    let topo = sim.topology().clone();
+    sim.set_fault_plan(FaultPlan::random(seed, &topo, CYCLES, 0.25));
+    sim.set_failure_policy(FailurePolicy::Quarantine);
+    sim.set_watchdog(1_000_000);
+}
+
+#[test]
+fn kill_and_resume_mid_soak_matches_uninterrupted_control() {
+    // Checkpoint halfway through a soak, drop the simulator entirely
+    // (the "kill"), rebuild from scratch, restore through the full
+    // binary codec, re-arm the same fault plan, and finish the run: the
+    // stitched probe stream and the final census must match the
+    // uninterrupted control. PCL-only targets: every stateful module in
+    // them has real save/restore hooks, so a fresh build plus restore
+    // reconstructs the exact durable state (UPL/CCL composites keep the
+    // stateless defaults and are soaked by the tests above instead).
+    for name in ["specs/pipeline.lss", "specs/refinement.lss"] {
+        for &seed in SEEDS {
+            let (control, cv, _, cq) = chaos_run(name, SchedKind::Dynamic, seed);
+
+            let mut sim = build_target(name, SchedKind::Dynamic);
+            let buf1 = Buf::default();
+            sim.set_probe(Box::new(JsonlProbe::new(buf1.clone()).canonical()));
+            arm_chaos(&mut sim, seed);
+            let half = CYCLES / 2;
+            if let Err(e) = sim.run(half) {
+                // The control hit the same structured error; nothing
+                // left to resume.
+                assert_eq!(cv, Err(e.to_string()), "{name} seed {seed}: verdict");
+                continue;
+            }
+            drop(sim.take_probe());
+            let first_leg = sans_attach(&buf1.take());
+            let bytes = sim.snapshot().expect("snapshot").to_bytes();
+            drop(sim); // kill
+
+            let snap = Snapshot::from_bytes(&bytes).expect("checkpoint decodes");
+            let mut resumed = build_target(name, SchedKind::Dynamic);
+            resumed.restore(&snap).expect("restore");
+            let buf2 = Buf::default();
+            resumed.set_probe(Box::new(JsonlProbe::new(buf2.clone()).canonical()));
+            arm_chaos(&mut resumed, seed);
+            let verdict = resumed.run(CYCLES - half).map_err(|e| e.to_string());
+            let q = resumed.metrics().quarantines;
+            drop(resumed.take_probe());
+
+            assert_eq!(cv, verdict, "{name} seed {seed}: verdict");
+            assert_eq!(
+                sans_attach(&control),
+                first_leg + &sans_attach(&buf2.take()),
+                "{name} seed {seed}: stitched stream matches control"
+            );
+            assert_eq!(cq, q, "{name} seed {seed}: quarantine census");
+        }
+    }
+}
+
 #[test]
 fn different_seeds_draw_different_plans() {
     let sim = build_target(WORKLOADS[0], SchedKind::Dynamic);

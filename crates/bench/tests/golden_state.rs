@@ -1,0 +1,198 @@
+//! Golden-state regression corpus: checked-in checkpoints for three
+//! example systems at a fixed step, plus a corpus of deliberately broken
+//! checkpoint files (mirroring `specs/bad/` for the specification
+//! parser).
+//!
+//! The golden files pin the *entire durable state* of each system —
+//! module state blobs, per-edge transfer counts, engine metrics, and the
+//! statistics store — under one fixed scheduler. Any change that shifts
+//! simulation semantics, statistics accounting, or the checkpoint
+//! encoding itself shows up as a byte diff here before it ships.
+//!
+//! Golden hashes are only stable per scheduler (engine counters such as
+//! `reacts` legitimately differ between schedulers), so the corpus is
+//! generated under [`GOLDEN_SCHED`] exclusively.
+//!
+//! Regenerate after an *intentional* semantics or format change with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p liberty-bench --test golden_state
+//! ```
+
+use liberty_bench::kernel::{build, WORKLOADS};
+use liberty_core::prelude::*;
+use liberty_lss::build_simulator;
+use liberty_systems::full_registry;
+use std::path::PathBuf;
+
+/// Step at which every golden checkpoint is taken.
+const GOLDEN_STEP: u64 = 40;
+/// The fixed scheduler golden state is defined under.
+const GOLDEN_SCHED: SchedKind = SchedKind::Static;
+/// The three example systems in the corpus: (golden file stem, system
+/// name). Systems whose queues carry opaque payloads (UPL uops, CCL
+/// packets) refuse to snapshot by design and cannot be pinned here —
+/// see docs/ROBUSTNESS.md.
+const GOLDEN_SPECS: [(&str, &str); 3] = [
+    ("pipeline", "specs/pipeline.lss"),
+    ("refinement", "specs/refinement.lss"),
+    ("scatter", "scatter 256 (acyclic)"),
+];
+
+fn repo_root() -> PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn golden_dir() -> PathBuf {
+    repo_root().join("ci/golden")
+}
+
+/// `pipeline` -> `ci/golden/pipeline.static.ckpt`.
+fn golden_path(stem: &str) -> PathBuf {
+    golden_dir().join(format!("{stem}.static.ckpt"))
+}
+
+fn regen() -> bool {
+    std::env::var_os("GOLDEN_REGEN").is_some_and(|v| v == "1")
+}
+
+fn build_spec(name: &str, sched: SchedKind) -> Simulator {
+    if WORKLOADS.contains(&name) {
+        return build(name, sched);
+    }
+    let src = std::fs::read_to_string(repo_root().join(name)).expect("spec readable");
+    let registry = full_registry();
+    build_simulator(&src, &registry, "main", &Params::new(), sched)
+        .expect("spec elaborates")
+        .0
+}
+
+/// Build a spec's system, run it to the golden step, and snapshot.
+fn golden_snapshot(spec: &str) -> Snapshot {
+    let mut sim = build_spec(spec, GOLDEN_SCHED);
+    sim.run(GOLDEN_STEP)
+        .unwrap_or_else(|e| panic!("{spec}: {e}"));
+    sim.snapshot().expect("snapshot")
+}
+
+#[test]
+fn golden_checkpoints_match_a_fresh_build() {
+    for (stem, spec) in GOLDEN_SPECS {
+        let snap = golden_snapshot(spec);
+        let path = golden_path(stem);
+        if regen() {
+            std::fs::create_dir_all(golden_dir()).expect("mkdir ci/golden");
+            snap.write_file(&path).expect("write golden");
+            eprintln!("regenerated {}", path.display());
+            continue;
+        }
+        let golden = Snapshot::read_file(path.as_path()).unwrap_or_else(|e| {
+            panic!(
+                "{}: unreadable golden checkpoint ({e}); run with GOLDEN_REGEN=1 \
+                 to (re)generate the corpus",
+                path.display()
+            )
+        });
+        assert_eq!(
+            snap.to_bytes(),
+            golden.to_bytes(),
+            "{spec}: rebuilt state diverges from the golden checkpoint \
+             (state hash {:#010x} vs golden {:#010x}); if the semantics \
+             change is intentional, regenerate with GOLDEN_REGEN=1",
+            snap.state_hash(),
+            golden.state_hash(),
+        );
+    }
+}
+
+#[test]
+fn golden_checkpoints_restore_and_resnapshot_identically() {
+    // Restoring a golden file into a fresh build and snapshotting again
+    // must reproduce the file byte for byte: restore loses nothing that
+    // snapshot records, for every system in the corpus.
+    for (stem, spec) in GOLDEN_SPECS {
+        let path = golden_path(stem);
+        if regen() {
+            continue; // corpus being rewritten by the test above
+        }
+        let golden = Snapshot::read_file(path.as_path()).expect("golden readable");
+        let mut sim = build_spec(spec, GOLDEN_SCHED);
+        sim.restore(&golden)
+            .unwrap_or_else(|e| panic!("{spec}: {e}"));
+        assert_eq!(sim.now(), GOLDEN_STEP, "{spec}: restored step");
+        let again = sim.snapshot().expect("snapshot");
+        assert_eq!(again.to_bytes(), golden.to_bytes(), "{spec}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Broken-checkpoint corpus: ci/golden/bad/*.ckpt
+// ---------------------------------------------------------------------
+
+/// A corruption applied to a valid checkpoint's bytes.
+type Corruption = fn(Vec<u8>) -> Vec<u8>;
+
+/// (file name, corruption applied to a valid checkpoint's bytes).
+fn corruptions() -> Vec<(&'static str, Corruption)> {
+    vec![
+        ("bad_magic.ckpt", |mut b| {
+            b[..4].copy_from_slice(b"NOPE");
+            b
+        }),
+        ("bad_version.ckpt", |mut b| {
+            b[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+            b
+        }),
+        ("bad_crc.ckpt", |mut b| {
+            let last = b.len() - 1;
+            b[last] ^= 0xFF;
+            b
+        }),
+        ("truncated.ckpt", |mut b| {
+            b.truncate(b.len() - 7);
+            b
+        }),
+        ("short_header.ckpt", |mut b| {
+            b.truncate(9);
+            b
+        }),
+    ]
+}
+
+fn expect_diag(name: &str, err: &SimError) {
+    let c = err
+        .as_checkpoint()
+        .unwrap_or_else(|| panic!("{name}: non-checkpoint error {err}"));
+    let ok = match name {
+        "bad_magic.ckpt" => matches!(c, CheckpointError::BadMagic { .. }),
+        "bad_version.ckpt" => matches!(c, CheckpointError::VersionMismatch { .. }),
+        "bad_crc.ckpt" => matches!(c, CheckpointError::ChecksumMismatch { .. }),
+        "truncated.ckpt" | "short_header.ckpt" => {
+            matches!(c, CheckpointError::Truncated { .. })
+        }
+        other => panic!("unknown corpus file {other}"),
+    };
+    assert!(ok, "{name}: wrong diagnostic {c:?}");
+}
+
+#[test]
+fn broken_checkpoint_corpus_yields_structured_diagnostics() {
+    let bad_dir = golden_dir().join("bad");
+    if regen() {
+        // Derive the corpus deterministically from the pipeline golden
+        // state so regeneration is reproducible.
+        std::fs::create_dir_all(&bad_dir).expect("mkdir ci/golden/bad");
+        let good = golden_snapshot(GOLDEN_SPECS[0].1).to_bytes();
+        for (name, corrupt) in corruptions() {
+            std::fs::write(bad_dir.join(name), corrupt(good.clone())).expect("write corpus");
+            eprintln!("regenerated {}", bad_dir.join(name).display());
+        }
+    }
+    for (name, _) in corruptions() {
+        let err = match Snapshot::read_file(&bad_dir.join(name)) {
+            Ok(_) => panic!("{name}: corrupted checkpoint was accepted"),
+            Err(e) => e,
+        };
+        expect_diag(name, &err);
+    }
+}

@@ -62,6 +62,69 @@ impl fmt::Display for DivergenceInfo {
     }
 }
 
+/// Structured payload of [`SimError::Checkpoint`]: why a checkpoint blob
+/// was rejected. Each corruption class gets its own variant so tooling
+/// (and the broken-checkpoint corpus tests) can assert on the diagnosis,
+/// not on message wording.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// The file does not start with the checkpoint magic bytes.
+    BadMagic {
+        /// The first bytes actually found (up to 4).
+        found: Vec<u8>,
+    },
+    /// The format version is not one this build can read.
+    VersionMismatch {
+        /// Version stamped in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        expected: u32,
+    },
+    /// The CRC32 over the payload does not match the stored checksum.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum recomputed over the payload.
+        computed: u32,
+    },
+    /// The blob ends before the declared payload and trailer.
+    Truncated {
+        /// Bytes the header/fields declared.
+        needed: u64,
+        /// Bytes actually present.
+        available: u64,
+    },
+    /// The envelope is intact (magic/version/checksum pass) but a field
+    /// inside decodes to something impossible, or the snapshot does not
+    /// fit the simulator it is being restored into (instance/edge census
+    /// mismatch, module state blob rejected).
+    Malformed(String),
+    /// The checkpoint file could not be read or written.
+    Io(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic { found } => {
+                write!(f, "bad magic {found:02x?} (not a checkpoint file)")
+            }
+            CheckpointError::VersionMismatch { found, expected } => {
+                write!(f, "format version {found} (this build reads {expected})")
+            }
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            CheckpointError::Truncated { needed, available } => {
+                write!(f, "truncated: need {needed} bytes, have {available}")
+            }
+            CheckpointError::Malformed(m) => write!(f, "malformed: {m}"),
+            CheckpointError::Io(m) => write!(f, "io: {m}"),
+        }
+    }
+}
+
 /// Structured payload of [`SimError::Panic`]: a module handler panicked
 /// and the failure policy was to abort.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +162,9 @@ pub enum SimError {
     /// A module handler panicked under [`FailurePolicy::Abort`]
     /// (`FailurePolicy` lives in `crate::fault`).
     Panic(Box<PanicInfo>),
+    /// A checkpoint blob was rejected: corrupted on disk or incompatible
+    /// with the simulator being restored (`crate::snapshot`).
+    Checkpoint(Box<CheckpointError>),
     /// A kernel invariant was violated (a bug in the kernel, not in a
     /// model); reported instead of panicking so long soaks fail softly.
     Internal(String),
@@ -160,6 +226,19 @@ impl SimError {
             _ => None,
         }
     }
+
+    /// Construct a checkpoint-rejection error.
+    pub fn checkpoint(e: CheckpointError) -> Self {
+        SimError::Checkpoint(Box::new(e))
+    }
+
+    /// The checkpoint payload, when this is a rejected checkpoint.
+    pub fn as_checkpoint(&self) -> Option<&CheckpointError> {
+        match self {
+            SimError::Checkpoint(c) => Some(c),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -178,6 +257,7 @@ impl fmt::Display for SimError {
                 "panic in {} at step {}: {}",
                 p.instance, p.step, p.message
             ),
+            SimError::Checkpoint(c) => write!(f, "checkpoint rejected: {c}"),
             SimError::Internal(m) => write!(f, "internal kernel error: {m}"),
         }
     }
@@ -222,6 +302,43 @@ mod tests {
         assert!(s.contains("a -> b"), "{s}");
         assert!(e.as_divergence().is_some());
         assert!(e.as_panic().is_none());
+    }
+
+    #[test]
+    fn checkpoint_display_names_corruption_class() {
+        let cases: Vec<(CheckpointError, &str)> = vec![
+            (CheckpointError::BadMagic { found: vec![0, 1] }, "magic"),
+            (
+                CheckpointError::VersionMismatch {
+                    found: 9,
+                    expected: 1,
+                },
+                "version 9",
+            ),
+            (
+                CheckpointError::ChecksumMismatch {
+                    stored: 1,
+                    computed: 2,
+                },
+                "checksum",
+            ),
+            (
+                CheckpointError::Truncated {
+                    needed: 10,
+                    available: 3,
+                },
+                "truncated",
+            ),
+            (CheckpointError::Malformed("bad tag".into()), "bad tag"),
+        ];
+        for (c, needle) in cases {
+            let e = SimError::checkpoint(c);
+            let s = e.to_string();
+            assert!(s.contains("checkpoint rejected"), "{s}");
+            assert!(s.contains(needle), "{s} should contain {needle}");
+            assert!(e.as_checkpoint().is_some());
+        }
+        assert!(SimError::internal("x").as_checkpoint().is_none());
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! wall-clock.
 
 use crate::compile::{CompiledPlan, PlanNode};
-use crate::error::{DivergenceInfo, OscillatingWire, PanicInfo, SimError};
+use crate::error::{CheckpointError, DivergenceInfo, OscillatingWire, PanicInfo, SimError};
 use crate::fault::{apply_fault, wire_idx, ActiveFaults, CompiledFaults, FailurePolicy, FaultPlan};
 use crate::module::{Dir, Module, PortId};
 use crate::netlist::{EdgeId, InstanceId, Netlist};
@@ -42,6 +42,7 @@ use crate::pool::WorkerPool;
 use crate::probe::{Probe, ResolvedBy, TracerProbe};
 use crate::sched::RankQueue;
 use crate::signal::{Res, Wire, WireWrite, WriteOutcome};
+use crate::snapshot::Snapshot;
 use crate::stats::{Stats, StatsReport};
 use crate::store::SignalStore;
 use crate::topology::{InstanceInfo, PortMeta, Topology};
@@ -121,6 +122,48 @@ struct ResilState {
     pending_q: Vec<(u32, String)>,
 }
 
+/// Checkpoint / recovery configuration plus the in-memory rollback
+/// target. Boxed behind an `Option` exactly like [`ResilState`]: a
+/// simulator that never checkpoints carries a single `None`, `run`
+/// checks it once per step at the step *boundary*, and nothing changes
+/// inside the monomorphized reaction loops — the checkpoint-off hot
+/// path stays on the kernel baseline.
+struct CheckpointState {
+    /// Auto-checkpoint period in steps (0 = explicit snapshots only).
+    every: u64,
+    /// When set, every auto checkpoint is also written (atomically) to
+    /// `<dir>/step-<now>.ckpt`.
+    dir: Option<std::path::PathBuf>,
+    /// The most recent checkpoint — the roll-back-and-retry target.
+    last: Option<Arc<Snapshot>>,
+    /// Retry failures by restoring `last` and masking the offending
+    /// fault-plan entries, instead of staying quarantined / aborting.
+    rollback: bool,
+    /// Instances a rollback was already attempted for. A second failure
+    /// of the same instance keeps the quarantine: an organic failure
+    /// (not plan-injected) replays identically, so retrying again would
+    /// loop forever.
+    attempted_insts: Vec<u32>,
+    /// Edges whose faults were already masked for divergence recovery.
+    attempted_edges: Vec<u32>,
+    /// Rollbacks performed so far (diagnostics).
+    rollbacks: u64,
+}
+
+impl CheckpointState {
+    fn new() -> Self {
+        CheckpointState {
+            every: 0,
+            dir: None,
+            last: None,
+            rollback: false,
+            attempted_insts: Vec::new(),
+            attempted_edges: Vec::new(),
+            rollbacks: 0,
+        }
+    }
+}
+
 /// Reusable worklist storage shared by the reaction and default phases.
 /// Only the variant matching the scheduler is populated.
 #[derive(Default)]
@@ -177,6 +220,9 @@ pub struct Simulator {
     /// Fault-injection / watchdog / quarantine state; `None` (the
     /// default) keeps the hot path on the fault-free monomorphization.
     resil: Option<Box<ResilState>>,
+    /// Checkpoint / recovery state; `None` (the default) keeps `run` on
+    /// the plain fixed-cycle loop.
+    ckpt: Option<Box<CheckpointState>>,
     /// The compiled invocation plan (compiled schedulers only; shared
     /// via the topology's cache).
     plan: Option<Arc<CompiledPlan>>,
@@ -243,6 +289,7 @@ impl Simulator {
             active: vec![false; n],
             transfer_counts: vec![0; n_edges],
             resil: None,
+            ckpt: None,
             plan,
             threads: 0,
             pool: None,
@@ -294,6 +341,311 @@ impl Simulator {
     /// wires.
     pub fn set_watchdog(&mut self, max_iters: u64) {
         self.resil_mut().max_iters = Some(max_iters.max(1));
+    }
+
+    fn ckpt_mut(&mut self) -> &mut CheckpointState {
+        self.ckpt
+            .get_or_insert_with(|| Box::new(CheckpointState::new()))
+    }
+
+    /// Take a checkpoint automatically every `every` steps during
+    /// [`Simulator::run`] (0 disables). Checkpoints are kept in memory
+    /// as the rollback target; pair with
+    /// [`Simulator::set_checkpoint_dir`] to also persist each one.
+    /// Checkpointing happens strictly at step boundaries, so enabling it
+    /// never perturbs the reaction/commit hot loops.
+    pub fn set_auto_checkpoint(&mut self, every: u64) {
+        self.ckpt_mut().every = every;
+    }
+
+    /// Persist every auto checkpoint to `<dir>/step-<now>.ckpt`
+    /// (written atomically: temp file + rename).
+    pub fn set_checkpoint_dir(&mut self, dir: impl Into<std::path::PathBuf>) {
+        self.ckpt_mut().dir = Some(dir.into());
+    }
+
+    /// Enable roll-back-and-retry recovery: when a step quarantines an
+    /// instance (under [`FailurePolicy::Quarantine`]) or dies with
+    /// [`SimError::Divergence`], `run` restores the last checkpoint,
+    /// masks the offending instance/edge in the installed fault plan and
+    /// resumes — emitting `rollback` and `restore` probe events. Each
+    /// instance/edge is retried at most once: a failure that is not
+    /// explained by the fault plan replays identically, so the second
+    /// occurrence falls through to the plain quarantine/abort behaviour.
+    pub fn set_rollback(&mut self, enabled: bool) {
+        self.ckpt_mut().rollback = enabled;
+    }
+
+    /// The most recent checkpoint taken by the auto-checkpoint machinery
+    /// or [`Simulator::checkpoint_now`].
+    pub fn last_checkpoint(&self) -> Option<Arc<Snapshot>> {
+        self.ckpt.as_ref().and_then(|c| c.last.clone())
+    }
+
+    /// How many times the recovery path rolled the run back.
+    pub fn rollbacks(&self) -> u64 {
+        self.ckpt.as_ref().map_or(0, |c| c.rollbacks)
+    }
+
+    /// Capture the full durable simulator state at the current step
+    /// boundary: step counter, engine metrics, per-edge transfer counts,
+    /// statistics, the quarantine set and one
+    /// [`Module::state_save`] blob per instance. Signal-store contents
+    /// are *not* captured — every wire re-resolves from `Unknown` each
+    /// step, so at a boundary the store is semantically empty.
+    pub fn snapshot(&self) -> Result<Snapshot, SimError> {
+        let mut modules = Vec::with_capacity(self.modules.len());
+        for (i, m) in self.modules.iter().enumerate() {
+            let blob = m.state_save().map_err(|e| {
+                SimError::model(format!(
+                    "state_save of instance {:?}: {e}",
+                    self.topo.name(InstanceId(i as u32))
+                ))
+            })?;
+            modules.push(blob);
+        }
+        let quarantined: Vec<u32> = self
+            .quarantined_instances()
+            .into_iter()
+            .map(|i| i.0)
+            .collect();
+        Ok(Snapshot {
+            now: self.now,
+            n_instances: self.topo.instance_count() as u32,
+            n_edges: self.topo.edge_count() as u32,
+            metrics: self.metrics,
+            transfer_counts: self.transfer_counts.clone(),
+            quarantined,
+            stats: self.stats.dump(),
+            modules,
+        })
+    }
+
+    /// Replace the simulator's durable state with `snap`'s. The snapshot
+    /// must come from an identically built netlist (instance/edge census
+    /// is validated; module state blobs are validated by each module).
+    /// Fault plans, failure policies and watchdogs are *not* part of a
+    /// snapshot — plan activation is a pure function of the step number,
+    /// so reinstalling the same plan reproduces the same injections;
+    /// re-arm them after restoring into a fresh simulator.
+    ///
+    /// On success the next [`Simulator::step`] executes step
+    /// `snap.now()` and the continuation is bit-exact: canonical probe
+    /// streams match the uninterrupted run under every scheduler. On
+    /// error the simulator may be partially restored and must be
+    /// discarded.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SimError> {
+        let n = self.topo.instance_count();
+        let n_edges = self.topo.edge_count();
+        if snap.n_instances as usize != n || snap.n_edges as usize != n_edges {
+            return Err(SimError::checkpoint(CheckpointError::Malformed(format!(
+                "snapshot census ({} instances, {} edges) does not fit this netlist \
+                 ({n} instances, {n_edges} edges)",
+                snap.n_instances, snap.n_edges
+            ))));
+        }
+        for (i, m) in self.modules.iter_mut().enumerate() {
+            m.state_restore(&snap.modules[i]).map_err(|e| {
+                SimError::checkpoint(CheckpointError::Malformed(format!(
+                    "state_restore of instance {:?}: {e}",
+                    self.topo.name(InstanceId(i as u32))
+                )))
+            })?;
+        }
+        self.now = snap.now;
+        self.metrics = snap.metrics;
+        self.transfer_counts.clone_from(&snap.transfer_counts);
+        self.stats = crate::snapshot::stats_from_snapshot(snap);
+        // Fresh store: at a step boundary every slot is epoch-stale
+        // (semantically Unknown), which is exactly what a new store is.
+        self.store = SignalStore::new(n_edges);
+        self.active.iter_mut().for_each(|a| *a = false);
+        if let Some(rs) = self.resil.as_deref_mut() {
+            rs.quarantined.iter_mut().for_each(|q| *q = false);
+            rs.iters = 0;
+            rs.osc.clear();
+            rs.pending_q.clear();
+            rs.active.clear();
+        }
+        if !snap.quarantined.is_empty() {
+            let rs = self.resil_mut();
+            for &q in &snap.quarantined {
+                rs.quarantined[q as usize] = true;
+            }
+        }
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.restored(self.now);
+        }
+        Ok(())
+    }
+
+    /// Take a checkpoint right now: remember it in memory as the
+    /// rollback target, write it to the checkpoint directory when one is
+    /// set, and emit the `checkpoint` probe event. The auto-checkpoint
+    /// path calls this every N steps; hosts can also call it directly at
+    /// any step boundary.
+    pub fn checkpoint_now(&mut self) -> Result<(), SimError> {
+        let snap = Arc::new(self.snapshot()?);
+        let now = self.now;
+        let c = self.ckpt_mut();
+        c.last = Some(Arc::clone(&snap));
+        if let Some(dir) = c.dir.clone() {
+            std::fs::create_dir_all(&dir).map_err(|e| {
+                SimError::checkpoint(CheckpointError::Io(format!("{}: {e}", dir.display())))
+            })?;
+            snap.write_file(&dir.join(format!("step-{now:08}.ckpt")))?;
+        }
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.checkpointed(now);
+        }
+        Ok(())
+    }
+
+    fn maybe_auto_checkpoint(&mut self) -> Result<(), SimError> {
+        let every = self.ckpt.as_ref().map_or(0, |c| c.every);
+        if every == 0 || !self.now.is_multiple_of(every) {
+            return Ok(());
+        }
+        self.checkpoint_now()
+    }
+
+    /// Recovery for a step that quarantined at least one instance: if
+    /// rollback is armed and any of the new quarantines has not been
+    /// retried yet, mask those instances' fault-plan entries, rewind to
+    /// the last checkpoint and report `true` (the caller re-runs the
+    /// steps). Otherwise leave the quarantine standing.
+    fn try_rollback_quarantine(&mut self) -> Result<bool, SimError> {
+        let Some(c) = self.ckpt.as_ref() else {
+            return Ok(false);
+        };
+        if !c.rollback {
+            return Ok(false);
+        }
+        let Some(snap) = c.last.clone() else {
+            return Ok(false);
+        };
+        let fresh: Vec<u32> = self
+            .quarantined_instances()
+            .into_iter()
+            .map(|i| i.0)
+            .filter(|i| !snap.quarantined.contains(i))
+            .filter(|i| !c.attempted_insts.contains(i))
+            .collect();
+        if fresh.is_empty() {
+            return Ok(false);
+        }
+        if let Some(rs) = self.resil.as_deref_mut() {
+            if let Some(plan) = rs.plan.as_mut() {
+                for &i in &fresh {
+                    plan.mask_instance(i);
+                }
+            }
+        }
+        let names: Vec<&str> = fresh
+            .iter()
+            .map(|&i| self.topo.name(InstanceId(i)))
+            .collect();
+        let reason = format!("quarantine of {}", names.join(", "));
+        let now = self.now;
+        let c = self.ckpt_mut();
+        c.attempted_insts.extend(fresh.iter().copied());
+        c.rollbacks += 1;
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.rolled_back(now, snap.now, &reason);
+        }
+        self.restore(&snap)?;
+        Ok(true)
+    }
+
+    /// Recovery for a step that died with [`SimError::Divergence`]: if
+    /// rollback is armed and masking the oscillating edges actually
+    /// removed fault-plan entries (an organic oscillation replays
+    /// identically, so retrying it would loop), rewind and report
+    /// `true`.
+    fn try_rollback_divergence(&mut self, e: &SimError) -> Result<bool, SimError> {
+        let Some(info) = e.as_divergence() else {
+            return Ok(false);
+        };
+        let Some(c) = self.ckpt.as_ref() else {
+            return Ok(false);
+        };
+        if !c.rollback {
+            return Ok(false);
+        }
+        let Some(snap) = c.last.clone() else {
+            return Ok(false);
+        };
+        let fresh: Vec<u32> = info
+            .oscillating
+            .iter()
+            .map(|w| w.edge)
+            .filter(|e| !c.attempted_edges.contains(e))
+            .collect();
+        if fresh.is_empty() {
+            return Ok(false);
+        }
+        let mut masked = 0;
+        if let Some(rs) = self.resil.as_deref_mut() {
+            if let Some(plan) = rs.plan.as_mut() {
+                for &e in &fresh {
+                    masked += plan.mask_edge(e);
+                }
+            }
+        }
+        let c = self.ckpt_mut();
+        c.attempted_edges.extend(fresh.iter().copied());
+        if masked == 0 {
+            return Ok(false);
+        }
+        c.rollbacks += 1;
+        let now = self.now;
+        let reason = format!(
+            "divergence on edge{} {}",
+            if fresh.len() == 1 { "" } else { "s" },
+            fresh
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.rolled_back(now, snap.now, &reason);
+        }
+        self.restore(&snap)?;
+        Ok(true)
+    }
+
+    /// The recoverable run loop: auto-checkpoints at period boundaries
+    /// and rewinds on quarantine/divergence when rollback is armed.
+    fn run_recoverable(&mut self, cycles: u64) -> Result<(), SimError> {
+        let target = self.now.saturating_add(cycles);
+        // A rollback needs a target even before the first periodic
+        // checkpoint: seed one at the starting boundary.
+        if self
+            .ckpt
+            .as_ref()
+            .is_some_and(|c| c.rollback && c.last.is_none())
+        {
+            let snap = Arc::new(self.snapshot()?);
+            self.ckpt_mut().last = Some(snap);
+        }
+        while self.now < target {
+            let q_before = self.metrics.quarantines;
+            match self.step() {
+                Ok(()) => {
+                    if self.metrics.quarantines > q_before && self.try_rollback_quarantine()? {
+                        continue;
+                    }
+                    self.maybe_auto_checkpoint()?;
+                }
+                Err(e) => {
+                    if !self.try_rollback_divergence(&e)? {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// True when `inst` has been quarantined by
@@ -423,8 +775,14 @@ impl Simulator {
         &self.transfer_counts
     }
 
-    /// Run `cycles` time-steps.
+    /// Run `cycles` time-steps. When checkpointing or rollback is
+    /// configured, the loop auto-checkpoints at period boundaries and
+    /// rewinds on recoverable quarantine/divergence; otherwise it is the
+    /// plain step loop with no per-step overhead.
     pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
+        if self.ckpt.is_some() {
+            return self.run_recoverable(cycles);
+        }
         for _ in 0..cycles {
             self.step()?;
         }
@@ -1046,6 +1404,7 @@ impl Simulator {
                             let rs = resil.as_deref_mut().expect("resilient commit state");
                             if rs.policy == FailurePolicy::Quarantine {
                                 quarantine(rs, metrics, i, format!("commit error: {e}"));
+                                scrub_module_state(module.as_mut());
                                 continue;
                             }
                         }
@@ -1055,6 +1414,7 @@ impl Simulator {
                         let rs = resil.as_deref_mut().expect("resilient commit state");
                         if rs.policy == FailurePolicy::Quarantine {
                             quarantine(rs, metrics, i, format!("commit panic: {msg}"));
+                            scrub_module_state(module.as_mut());
                             continue;
                         }
                         return Err(SimError::Panic(Box::new(PanicInfo {
@@ -1127,6 +1487,17 @@ fn quarantine(rs: &mut ResilState, metrics: &mut EngineMetrics, i: usize, reason
         metrics.quarantines += 1;
         rs.pending_q.push((i as u32, reason));
     }
+}
+
+/// A freshly quarantined instance's state may be torn: the panic (or
+/// error return) interrupted its handler mid-mutation, and how far the
+/// mutation got is scheduler-dependent. Reset the module to its initial
+/// state via the empty-blob [`Module::state_restore`] contract so
+/// quarantined instances stay deterministic (snapshots of the run remain
+/// scheduler-independent). A module whose reset itself panics keeps its
+/// torn state — it is quarantined and never invoked again regardless.
+fn scrub_module_state(m: &mut dyn Module) {
+    let _ = catch_unwind(AssertUnwindSafe(|| m.state_restore(&[])));
 }
 
 /// Build the structured divergence report from the watchdog state: every
@@ -1506,6 +1877,7 @@ fn react_one<const PROBED: bool, const RESIL: bool>(
                 let rs = resil.as_deref_mut().expect("resilient react state");
                 if rs.policy == FailurePolicy::Quarantine {
                     quarantine(rs, metrics, i, format!("react error: {e}"));
+                    scrub_module_state(modules[i].as_mut());
                     return Ok(());
                 }
             }
@@ -1515,6 +1887,7 @@ fn react_one<const PROBED: bool, const RESIL: bool>(
             let rs = resil.as_deref_mut().expect("resilient react state");
             if rs.policy == FailurePolicy::Quarantine {
                 quarantine(rs, metrics, i, format!("react panic: {msg}"));
+                scrub_module_state(modules[i].as_mut());
                 Ok(())
             } else {
                 Err(SimError::Panic(Box::new(PanicInfo {

@@ -319,6 +319,25 @@ pub(crate) struct CompiledFaults {
 }
 
 impl CompiledFaults {
+    /// Remove every instance-level fault targeting `inst`. The recovery
+    /// path calls this before rolling back to the last checkpoint, so
+    /// the replayed steps no longer re-inject the failure that triggered
+    /// the rollback. Returns how many entries were masked.
+    pub(crate) fn mask_instance(&mut self, inst: u32) -> usize {
+        let before = self.instances.len();
+        self.instances.retain(|f| f.inst.0 != inst);
+        before - self.instances.len()
+    }
+
+    /// Remove every wire-level fault on `edge` (all three wires) — the
+    /// divergence-recovery analogue of [`CompiledFaults::mask_instance`].
+    /// Returns how many entries were masked.
+    pub(crate) fn mask_edge(&mut self, edge: u32) -> usize {
+        let before = self.signals.len();
+        self.signals.retain(|f| f.edge.0 != edge);
+        before - self.signals.len()
+    }
+
     /// Build the active table for `now`. Plans are small (tens of
     /// entries), so a linear scan per step is cheaper than anything
     /// fancier — and only runs when a plan is installed at all.
@@ -566,6 +585,26 @@ mod tests {
             apply_fault(FaultKind::Corrupt, WireWrite::Enable(Res::No), 0, 0, 1),
             Some(WireWrite::Enable(Res::Yes(())))
         );
+    }
+
+    #[test]
+    fn masking_removes_plan_entries() {
+        let plan = FaultPlan::new(1)
+            .drop_wire(EdgeId(0), Wire::Data, 0, 10)
+            .stall_wire(EdgeId(1), Wire::Ack, 0, 10)
+            .panic_at(InstanceId(0), 3)
+            .panic_at(InstanceId(1), 4);
+        let mut compiled = plan.compile(2);
+        assert_eq!(compiled.mask_instance(0), 1);
+        assert_eq!(compiled.mask_instance(0), 0, "idempotent");
+        assert_eq!(compiled.mask_edge(0), 1);
+        let mut active = ActiveFaults::default();
+        compiled.activate(3, &mut active);
+        assert!(!active.panics(0));
+        assert!(active.signal(0, Wire::Data).is_none());
+        assert_eq!(active.signal(1, Wire::Ack), Some(FaultKind::Stall));
+        compiled.activate(4, &mut active);
+        assert!(active.panics(1), "other entries survive");
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //! * the observability layer — [`probe`] (the `Probe` event-stream trait
 //!   with zero cost when absent), [`trace`] (text + JSONL sinks),
 //!   [`vcd`] (GTKWave waveforms) and [`profile`] (per-module hot spots);
+//! * [`snapshot`] — versioned, checksummed checkpoints of the full
+//!   simulator state, the substrate of the roll-back recovery path and
+//!   the golden-state regression corpus;
 //! * [`params`] / [`registry`] — algorithmic parameters and the template
 //!   registry the component libraries populate.
 //!
@@ -82,6 +85,7 @@ pub mod profile;
 pub mod registry;
 pub mod sched;
 pub mod signal;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod topology;
@@ -92,7 +96,7 @@ pub mod vcd;
 /// Convenience re-exports for module and system authors.
 pub mod prelude {
     pub use crate::compile::{CompiledPlan, PlanLevel, PlanNode};
-    pub use crate::error::{DivergenceInfo, OscillatingWire, PanicInfo, SimError};
+    pub use crate::error::{CheckpointError, DivergenceInfo, OscillatingWire, PanicInfo, SimError};
     pub use crate::exec::{CommitCtx, EngineMetrics, ReactCtx, SchedKind, Simulator, Tracer};
     pub use crate::fault::{
         FailurePolicy, FaultKind, FaultPlan, InstFaultKind, InstanceFault, SignalFault,
@@ -106,6 +110,7 @@ pub mod prelude {
     pub use crate::profile::{ProfileHandle, ProfileProbe, ProfileReport, Profiler};
     pub use crate::registry::{Instantiated, Registry, Template};
     pub use crate::signal::{Res, SignalState, Wire, WireWrite, WriteOutcome};
+    pub use crate::snapshot::{Snapshot, StateReader, StateWriter};
     pub use crate::stats::{Histogram, Sample, Stats, StatsReport};
     pub use crate::store::SignalStore;
     pub use crate::topology::{InstanceInfo, Topology};

@@ -187,6 +187,37 @@ pub trait Module: Send {
     fn pending(&self) -> bool {
         false
     }
+
+    /// Serialize the module's internal state for a checkpoint
+    /// (`crate::snapshot`). Called at step boundaries only, never inside
+    /// a time-step. The default returns an empty blob — correct for
+    /// stateless modules, which is why partial specifications checkpoint
+    /// out of the box. Stateful templates encode their fields with a
+    /// [`crate::snapshot::StateWriter`]; state that cannot be serialized
+    /// (e.g. [`crate::value::Value::Opaque`] payloads with no custom
+    /// encoding) should return an error rather than save a lie.
+    fn state_save(&self) -> Result<Vec<u8>, SimError> {
+        Ok(Vec::new())
+    }
+
+    /// Restore internal state from a blob produced by
+    /// [`Module::state_save`] on an identically constructed instance.
+    ///
+    /// An **empty** blob means "reset to the initial (post-construction)
+    /// state": stateful templates must implement that arm too — the
+    /// kernel uses it to scrub possibly-torn state out of an instance
+    /// whose handler panicked mid-mutation before quarantining it. The
+    /// default accepts only the empty blob (it has no state to restore)
+    /// and rejects anything else as a shape mismatch.
+    fn state_restore(&mut self, state: &[u8]) -> Result<(), SimError> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(SimError::model(
+                "state_restore: non-empty state blob for a module without state hooks",
+            ))
+        }
+    }
 }
 
 #[cfg(test)]

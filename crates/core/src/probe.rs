@@ -103,6 +103,19 @@ pub trait Probe: Send {
     /// not run again and its ports fall back to the default control
     /// semantics (reported at step end, in instance-id order).
     fn quarantined(&mut self, now: u64, inst: InstanceId, reason: &str) {}
+
+    /// A checkpoint of the full simulator state was taken after step
+    /// `now - 1` completed (i.e. the snapshot resumes at step `now`).
+    fn checkpointed(&mut self, now: u64) {}
+
+    /// The simulator state was replaced from a checkpoint; the next step
+    /// executed will be `now`.
+    fn restored(&mut self, now: u64) {}
+
+    /// The recovery path rewound the run: a failure at step `now` caused
+    /// a restore back to step `to` (always ≤ `now`), after masking the
+    /// offending fault-plan entries. `reason` describes the trigger.
+    fn rolled_back(&mut self, now: u64, to: u64, reason: &str) {}
 }
 
 /// Observer of completed transfers only — the original, narrow tracing
@@ -238,6 +251,21 @@ impl Probe for MultiProbe {
             p.quarantined(now, inst, reason);
         }
     }
+    fn checkpointed(&mut self, now: u64) {
+        for p in &mut self.probes {
+            p.checkpointed(now);
+        }
+    }
+    fn restored(&mut self, now: u64) {
+        for p in &mut self.probes {
+            p.restored(now);
+        }
+    }
+    fn rolled_back(&mut self, now: u64, to: u64, reason: &str) {
+        for p in &mut self.probes {
+            p.rolled_back(now, to, reason);
+        }
+    }
 }
 
 /// Event counters, shared through [`ProbeCountsHandle`]. The cheapest
@@ -262,6 +290,12 @@ pub struct ProbeCounts {
     pub faults: u64,
     /// `quarantined` events seen.
     pub quarantines: u64,
+    /// `checkpointed` events seen.
+    pub checkpoints: u64,
+    /// `restored` events seen.
+    pub restores: u64,
+    /// `rolled_back` events seen.
+    pub rollbacks: u64,
 }
 
 /// Counting probe; create with [`CountingProbe::new`].
@@ -331,6 +365,15 @@ impl Probe for CountingProbe {
     }
     fn quarantined(&mut self, _now: u64, _inst: InstanceId, _reason: &str) {
         self.counts.lock().expect("probe counts lock").quarantines += 1;
+    }
+    fn checkpointed(&mut self, _now: u64) {
+        self.counts.lock().expect("probe counts lock").checkpoints += 1;
+    }
+    fn restored(&mut self, _now: u64) {
+        self.counts.lock().expect("probe counts lock").restores += 1;
+    }
+    fn rolled_back(&mut self, _now: u64, _to: u64, _reason: &str) {
+        self.counts.lock().expect("probe counts lock").rollbacks += 1;
     }
 }
 

@@ -133,6 +133,20 @@ impl Histogram {
         })
     }
 
+    /// Raw fields for the checkpoint codec (`crate::snapshot`).
+    pub(crate) fn raw_parts(&self) -> (&[u64], u64, u64) {
+        (&self.buckets, self.count, self.sum)
+    }
+
+    /// Rebuild from raw fields read back out of a checkpoint.
+    pub(crate) fn from_raw_parts(buckets: Vec<u64>, count: u64, sum: u64) -> Self {
+        Histogram {
+            buckets,
+            count,
+            sum,
+        }
+    }
+
     /// Inclusive value range of bucket `i`.
     fn bounds(i: usize) -> (u64, u64) {
         match i {
@@ -262,6 +276,57 @@ impl Stats {
         acc
     }
 
+    /// Deterministic dump for the checkpoint codec (`crate::snapshot`):
+    /// every store sorted by (name, instance), so encoding the dump is
+    /// byte-stable across runs regardless of hash-map iteration order.
+    pub(crate) fn dump(&self) -> StatsDump {
+        fn sorted<V: Clone>(
+            m: &HashMap<&'static str, HashMap<u32, V>>,
+        ) -> Vec<(String, Vec<(u32, V)>)> {
+            let mut out: Vec<(String, Vec<(u32, V)>)> = m
+                .iter()
+                .map(|(name, per_inst)| {
+                    let mut inner: Vec<(u32, V)> =
+                        per_inst.iter().map(|(i, v)| (*i, v.clone())).collect();
+                    inner.sort_by_key(|(i, _)| *i);
+                    ((*name).to_owned(), inner)
+                })
+                .collect();
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            out
+        }
+        StatsDump {
+            counters: sorted(&self.counters),
+            samples: sorted(&self.samples),
+            histograms: sorted(&self.histograms),
+        }
+    }
+
+    /// Rebuild a store from a dump read back out of a checkpoint. Stat
+    /// names in the live store are `&'static str`; names arriving from
+    /// disk are interned (leaked once per distinct name, deduplicated
+    /// process-wide) so the rebuilt store is indistinguishable from one
+    /// the modules populated themselves.
+    pub(crate) fn restore_from_dump(d: &StatsDump) -> Stats {
+        fn rebuild<V: Clone>(
+            src: &[(String, Vec<(u32, V)>)],
+        ) -> HashMap<&'static str, HashMap<u32, V>> {
+            src.iter()
+                .map(|(name, per_inst)| {
+                    (
+                        intern_stat_name(name),
+                        per_inst.iter().map(|(i, v)| (*i, v.clone())).collect(),
+                    )
+                })
+                .collect()
+        }
+        Stats {
+            counters: rebuild(&d.counters),
+            samples: rebuild(&d.samples),
+            histograms: rebuild(&d.histograms),
+        }
+    }
+
     /// Produce a human/machine-readable report keyed by instance name.
     /// Accepts any slice of string-likes (`&[&str]`, `&[String]`, …).
     pub fn report<S: AsRef<str>>(&self, names: &[S]) -> StatsReport {
@@ -295,6 +360,35 @@ impl Stats {
             histograms,
         }
     }
+}
+
+/// Order-stable image of a [`Stats`] store, exchanged with the
+/// checkpoint codec. Not serialized itself — `crate::snapshot` walks it
+/// with its own length-prefixed binary writer.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct StatsDump {
+    pub(crate) counters: Vec<(String, Vec<(u32, u64)>)>,
+    pub(crate) samples: Vec<(String, Vec<(u32, Sample)>)>,
+    pub(crate) histograms: Vec<(String, Vec<(u32, Histogram)>)>,
+}
+
+/// Intern a stat name read from a checkpoint as `&'static str`. Leaks at
+/// most once per distinct name for the process lifetime; repeated
+/// restores of the same checkpoint reuse the first leak.
+fn intern_stat_name(name: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static TABLE: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut table = TABLE
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("stat name intern table lock");
+    if let Some(s) = table.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    table.insert(leaked);
+    leaked
 }
 
 /// Flattened, serializable statistics report. `PartialEq` so equivalence
@@ -424,6 +518,32 @@ mod tests {
         assert_eq!(s.histogram(InstanceId(1), "lat").unwrap().count(), 2);
         assert!(s.histogram_total("none").is_none());
         assert!(s.histogram(InstanceId(0), "none").is_none());
+    }
+
+    #[test]
+    fn dump_is_sorted_and_rebuilds_identically() {
+        let mut s = Stats::new();
+        s.count(InstanceId(3), "zeta", 7);
+        s.count(InstanceId(1), "zeta", 2);
+        s.count(InstanceId(0), "alpha", 1);
+        s.sample(InstanceId(2), "lat", 4.5);
+        s.histo(InstanceId(0), "occ", 9);
+        let d = s.dump();
+        assert_eq!(d.counters[0].0, "alpha");
+        assert_eq!(d.counters[1].0, "zeta");
+        assert_eq!(d.counters[1].1, vec![(1, 2), (3, 7)]);
+        let r = Stats::restore_from_dump(&d);
+        assert_eq!(r.counter(InstanceId(3), "zeta"), 7);
+        assert_eq!(r.counter(InstanceId(0), "alpha"), 1);
+        assert_eq!(
+            r.get_sample(InstanceId(2), "lat"),
+            s.get_sample(InstanceId(2), "lat")
+        );
+        assert_eq!(
+            r.histogram(InstanceId(0), "occ"),
+            s.histogram(InstanceId(0), "occ")
+        );
+        assert_eq!(r.dump(), d, "dump -> restore -> dump is a fixed point");
     }
 
     #[test]

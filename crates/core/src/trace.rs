@@ -155,9 +155,10 @@ impl Tracer for RecordingTracer {
 /// name table), `step` / `step_end`, `resolve` (per-wire resolution with
 /// polarity, payload rendering and source — module vs. default
 /// semantics), `transfer`, `fault` / `inst_fault` (active fault-plan
-/// injections), `quarantine` (instance isolation), and — when enabled
-/// with [`JsonlProbe::with_handlers`] — `react` / `commit` handler
-/// brackets.
+/// injections), `quarantine` (instance isolation), `checkpoint` /
+/// `restore` / `rollback` (the recovery machinery of `crate::snapshot`),
+/// and — when enabled with [`JsonlProbe::with_handlers`] — `react` /
+/// `commit` handler brackets.
 ///
 /// [`JsonlProbe::canonical`] restricts the stream to the
 /// scheduler-independent subset (everything except `resolve` and the
@@ -318,6 +319,22 @@ impl<W: Write + Send> Probe for JsonlProbe<W> {
             self.out,
             "{{\"t\":\"quarantine\",\"now\":{now},\"inst\":{},\"reason\":\"{}\"}}",
             inst.0,
+            json_escape(reason),
+        );
+    }
+
+    fn checkpointed(&mut self, now: u64) {
+        let _ = writeln!(self.out, "{{\"t\":\"checkpoint\",\"now\":{now}}}");
+    }
+
+    fn restored(&mut self, now: u64) {
+        let _ = writeln!(self.out, "{{\"t\":\"restore\",\"now\":{now}}}");
+    }
+
+    fn rolled_back(&mut self, now: u64, to: u64, reason: &str) {
+        let _ = writeln!(
+            self.out,
+            "{{\"t\":\"rollback\",\"now\":{now},\"to\":{to},\"reason\":\"{}\"}}",
             json_escape(reason),
         );
     }

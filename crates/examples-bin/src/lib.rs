@@ -47,12 +47,15 @@ pub struct ObsOpts {
     max_iters: Option<u64>,
     sched: Option<SchedKind>,
     threads: Option<usize>,
+    checkpoint_every: Option<u64>,
+    checkpoint_dir: Option<PathBuf>,
+    resume: Option<PathBuf>,
     /// Arguments not consumed by the observability layer, in order.
     pub rest: Vec<String>,
 }
 
 /// One line per flag, for embedding in an example's usage message.
-pub const OBS_USAGE: &str = "  --trace             print transfers (cap with --trace-limit N, default 200)\n  --vcd PATH          dump data/enable/ack waveforms for GTKWave\n  --jsonl PATH        stream structured events as JSON lines\n  --profile           print a per-instance hot-spot table at exit\n  --metrics-out PATH  write engine metrics + statistics as JSON\n  --faults SEED       inject a seeded random fault plan (chaos mode)\n  --fault-horizon N   fault activity window for --faults (default 64)\n  --fault-policy P    abort | quarantine on module failure (default quarantine)\n  --max-iters N       convergence watchdog: bound reactions per time-step\n  --scheduler S       sweep | dynamic | static | compiled | compiled-par\n  --threads N         worker threads for --scheduler compiled-par";
+pub const OBS_USAGE: &str = "  --trace             print transfers (cap with --trace-limit N, default 200)\n  --vcd PATH          dump data/enable/ack waveforms for GTKWave\n  --jsonl PATH        stream structured events as JSON lines\n  --profile           print a per-instance hot-spot table at exit\n  --metrics-out PATH  write engine metrics + statistics as JSON\n  --faults SEED       inject a seeded random fault plan (chaos mode)\n  --fault-horizon N   fault activity window for --faults (default 64)\n  --fault-policy P    abort | quarantine on module failure (default quarantine)\n  --max-iters N       convergence watchdog: bound reactions per time-step\n  --scheduler S       sweep | dynamic | static | compiled | compiled-par\n  --threads N         worker threads for --scheduler compiled-par\n  --checkpoint-every N  take a checkpoint every N steps\n  --checkpoint-dir DIR  persist checkpoints as DIR/step-NNNNNNNN.ckpt\n  --resume FILE       restore a checkpoint before running";
 
 impl ObsOpts {
     /// Parse `std::env::args().skip(1)`.
@@ -135,6 +138,14 @@ impl ObsOpts {
                             .ok_or("--threads requires a positive number")?,
                     );
                 }
+                "--checkpoint-every" => {
+                    o.checkpoint_every = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .ok_or("--checkpoint-every requires a positive step count")?,
+                    );
+                }
                 _ if a == "--vcd" || a.starts_with("--vcd=") => {
                     o.vcd = Some(flag_path(&a, "--vcd", &mut args)?);
                 }
@@ -143,6 +154,12 @@ impl ObsOpts {
                 }
                 _ if a == "--metrics-out" || a.starts_with("--metrics-out=") => {
                     o.metrics_out = Some(flag_path(&a, "--metrics-out", &mut args)?);
+                }
+                _ if a == "--checkpoint-dir" || a.starts_with("--checkpoint-dir=") => {
+                    o.checkpoint_dir = Some(flag_path(&a, "--checkpoint-dir", &mut args)?);
+                }
+                _ if a == "--resume" || a.starts_with("--resume=") => {
+                    o.resume = Some(flag_path(&a, "--resume", &mut args)?);
                 }
                 _ => o.rest.push(a),
             }
@@ -196,6 +213,24 @@ impl ObsOpts {
         }
         if let Some(t) = self.threads {
             sim.set_parallelism(t);
+        }
+        if let Some(path) = &self.resume {
+            let snap = Snapshot::read_file(path)
+                .map_err(|e| std::io::Error::other(format!("--resume {}: {e}", path.display())))?;
+            sim.restore(&snap)
+                .map_err(|e| std::io::Error::other(format!("--resume {}: {e}", path.display())))?;
+            eprintln!("resumed from {} at step {}", path.display(), snap.now());
+        }
+        if let Some(every) = self.checkpoint_every {
+            sim.set_auto_checkpoint(every);
+        }
+        if let Some(dir) = &self.checkpoint_dir {
+            // A checkpoint directory with no explicit period defaults to
+            // every 64 steps, so the flag is useful on its own.
+            if self.checkpoint_every.is_none() {
+                sim.set_auto_checkpoint(64);
+            }
+            sim.set_checkpoint_dir(dir.clone());
         }
         Ok(ObsSession {
             profile,
@@ -392,6 +427,83 @@ mod tests {
             ObsOpts::parse(["--scheduler".to_string(), "magic".to_string()].into_iter()).is_err()
         );
         assert!(ObsOpts::parse(["--threads".to_string(), "0".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn parses_checkpoint_flags() {
+        let o = parse(&[
+            "--checkpoint-every",
+            "32",
+            "--checkpoint-dir",
+            "ckpts",
+            "--resume=ckpts/step-00000032.ckpt",
+        ]);
+        assert_eq!(o.checkpoint_every, Some(32));
+        assert_eq!(
+            o.checkpoint_dir.as_deref(),
+            Some(std::path::Path::new("ckpts"))
+        );
+        assert_eq!(
+            o.resume.as_deref(),
+            Some(std::path::Path::new("ckpts/step-00000032.ckpt"))
+        );
+        assert!(o.rest.is_empty());
+        assert!(
+            ObsOpts::parse(["--checkpoint-every".to_string(), "0".to_string()].into_iter())
+                .is_err()
+        );
+        assert!(ObsOpts::parse(["--resume".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn install_resumes_from_checkpoint_file() {
+        struct Src;
+        impl Module for Src {
+            fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+                ctx.send(PortId(0), 0, Value::Word(ctx.now()))
+            }
+            fn commit(&mut self, ctx: &mut CommitCtx<'_>) -> Result<(), SimError> {
+                if ctx.transferred_out(PortId(0), 0) {
+                    ctx.count("emitted", 1);
+                }
+                Ok(())
+            }
+        }
+        let build = || {
+            let mut b = NetlistBuilder::new();
+            b.add(
+                "s",
+                ModuleSpec::new("src").output("out", 0, 1),
+                Box::new(Src),
+            )
+            .unwrap();
+            Simulator::new(b.build().unwrap(), SchedKind::Dynamic)
+        };
+        let dir = std::env::temp_dir().join(format!("lse-obs-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // First run persists checkpoints...
+        let o = parse(&[
+            "--checkpoint-every",
+            "2",
+            &format!("--checkpoint-dir={}", dir.display()),
+        ]);
+        let mut sim = build();
+        let obs = o.install(&mut sim).unwrap();
+        sim.run(4).unwrap();
+        obs.finish(&sim).unwrap();
+        let file = dir.join("step-00000004.ckpt");
+        assert!(file.exists(), "checkpoint file written");
+
+        // ...and a second process-equivalent resumes from one.
+        let o = parse(&[&format!("--resume={}", file.display())]);
+        let mut sim2 = build();
+        let obs = o.install(&mut sim2).unwrap();
+        assert_eq!(sim2.now(), 4);
+        sim2.run(2).unwrap();
+        obs.finish(&sim2).unwrap();
+        assert_eq!(sim2.metrics().steps, 6);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -174,6 +174,53 @@ impl Module for Arbiter {
         }
         Ok(())
     }
+
+    fn state_save(&self) -> Result<Vec<u8>, SimError> {
+        // The whole grant history a policy needs: round-robin cursor, LRU
+        // order, priority matrix. `policy` itself is configuration.
+        let mut w = StateWriter::new();
+        w.put_u64(self.rr_next as u64);
+        w.put_len(self.lru.len());
+        for &i in &self.lru {
+            w.put_u64(i as u64);
+        }
+        w.put_u64(self.matrix_n as u64);
+        for &bit in &self.matrix {
+            w.put_bool(bit);
+        }
+        Ok(w.into_bytes())
+    }
+
+    fn state_restore(&mut self, state: &[u8]) -> Result<(), SimError> {
+        if state.is_empty() {
+            self.rr_next = 0;
+            self.lru.clear();
+            self.matrix.clear();
+            self.matrix_n = 0;
+            return Ok(());
+        }
+        let mut r = StateReader::new(state);
+        let rr_next = r.get_u64()? as usize;
+        let n_lru = r.get_len()?;
+        let mut lru = Vec::with_capacity(n_lru);
+        for _ in 0..n_lru {
+            lru.push(r.get_u64()? as usize);
+        }
+        let matrix_n = r.get_u64()? as usize;
+        let cells = matrix_n
+            .checked_mul(matrix_n)
+            .ok_or_else(|| SimError::model("arbiter: matrix dimension overflow"))?;
+        let mut matrix = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            matrix.push(r.get_bool()?);
+        }
+        r.expect_end()?;
+        self.rr_next = rr_next;
+        self.lru = lru;
+        self.matrix = matrix;
+        self.matrix_n = matrix_n;
+        Ok(())
+    }
 }
 
 /// Construct an arbiter instance (see module docs).

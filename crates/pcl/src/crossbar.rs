@@ -159,6 +159,33 @@ impl Module for Crossbar {
         }
         Ok(())
     }
+
+    fn state_save(&self) -> Result<Vec<u8>, SimError> {
+        // Only the round-robin pointers are durable; `strip` and the
+        // policy flag are configuration.
+        let mut w = StateWriter::new();
+        w.put_len(self.rr.len());
+        for &p in &self.rr {
+            w.put_u64(p as u64);
+        }
+        Ok(w.into_bytes())
+    }
+
+    fn state_restore(&mut self, state: &[u8]) -> Result<(), SimError> {
+        if state.is_empty() {
+            self.rr.clear();
+            return Ok(());
+        }
+        let mut r = StateReader::new(state);
+        let n = r.get_len()?;
+        let mut rr = Vec::with_capacity(n);
+        for _ in 0..n {
+            rr.push(r.get_u64()? as usize);
+        }
+        r.expect_end()?;
+        self.rr = rr;
+        Ok(())
+    }
 }
 
 /// Construct a crossbar (see module docs).

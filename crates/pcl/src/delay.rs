@@ -46,6 +46,40 @@ impl Module for Delay {
         }
         Ok(())
     }
+
+    fn state_save(&self) -> Result<Vec<u8>, SimError> {
+        let mut w = StateWriter::new();
+        w.put_len(self.inflight.len());
+        for (v, ready) in &self.inflight {
+            w.put_value(v)?;
+            w.put_u64(*ready);
+        }
+        Ok(w.into_bytes())
+    }
+
+    fn state_restore(&mut self, state: &[u8]) -> Result<(), SimError> {
+        if state.is_empty() {
+            self.inflight.clear();
+            return Ok(());
+        }
+        let mut r = StateReader::new(state);
+        let n = r.get_len()?;
+        if n as u64 > self.latency + 1 {
+            return Err(SimError::model(format!(
+                "delay: restored in-flight count {n} exceeds capacity {}",
+                self.latency + 1
+            )));
+        }
+        let mut inflight = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let v = r.get_value()?;
+            let ready = r.get_u64()?;
+            inflight.push_back((v, ready));
+        }
+        r.expect_end()?;
+        self.inflight = inflight;
+        Ok(())
+    }
 }
 
 /// Construct a delay line (see module docs).

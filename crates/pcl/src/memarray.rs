@@ -69,6 +69,71 @@ pub struct MemResp {
 /// Shared observable storage for [`mem_array_shared`].
 pub type SharedMem = std::sync::Arc<parking_lot::Mutex<Vec<u64>>>;
 
+// `MemResp` rides the wires as `Value::Opaque`, which has no generic
+// encoding — so the array's checkpoint codec flattens each pending
+// response to `(ready_at, tag, data)` words by hand. Both array flavours
+// share the one codec.
+fn save_mem_state(
+    words: &[u64],
+    pending: &[VecDeque<(u64, MemResp)>],
+) -> Result<Vec<u8>, SimError> {
+    let mut w = StateWriter::new();
+    w.put_len(words.len());
+    for &x in words {
+        w.put_u64(x);
+    }
+    w.put_len(pending.len());
+    for q in pending {
+        w.put_len(q.len());
+        for (ready, resp) in q {
+            w.put_u64(*ready);
+            w.put_u64(resp.tag);
+            w.put_u64(resp.data);
+        }
+    }
+    Ok(w.into_bytes())
+}
+
+type MemState = (Vec<u64>, Vec<VecDeque<(u64, MemResp)>>);
+
+fn restore_mem_state(
+    state: &[u8],
+    n_words: usize,
+    inflight_cap: usize,
+) -> Result<MemState, SimError> {
+    let mut r = StateReader::new(state);
+    let n = r.get_len()?;
+    if n != n_words {
+        return Err(SimError::model(format!(
+            "mem_array: restored word count {n} does not match configured {n_words}"
+        )));
+    }
+    let mut words = Vec::with_capacity(n);
+    for _ in 0..n {
+        words.push(r.get_u64()?);
+    }
+    let n_conns = r.get_len()?;
+    let mut pending = Vec::with_capacity(n_conns);
+    for _ in 0..n_conns {
+        let n_resp = r.get_len()?;
+        if n_resp > inflight_cap {
+            return Err(SimError::model(format!(
+                "mem_array: restored in-flight count {n_resp} exceeds capacity {inflight_cap}"
+            )));
+        }
+        let mut q = VecDeque::with_capacity(n_resp);
+        for _ in 0..n_resp {
+            let ready = r.get_u64()?;
+            let tag = r.get_u64()?;
+            let data = r.get_u64()?;
+            q.push_back((ready, MemResp { tag, data }));
+        }
+        pending.push(q);
+    }
+    r.expect_end()?;
+    Ok((words, pending))
+}
+
 struct SharedArray {
     words: SharedMem,
     latency: u64,
@@ -121,6 +186,23 @@ impl Module for SharedArray {
                     .push_back((ctx.now() + self.latency, MemResp { tag: req.tag, data }));
             }
         }
+        Ok(())
+    }
+
+    fn state_save(&self) -> Result<Vec<u8>, SimError> {
+        save_mem_state(&self.words.lock(), &self.pending)
+    }
+
+    fn state_restore(&mut self, state: &[u8]) -> Result<(), SimError> {
+        if state.is_empty() {
+            self.words.lock().iter_mut().for_each(|w| *w = 0);
+            self.pending.clear();
+            return Ok(());
+        }
+        let n_words = self.words.lock().len();
+        let (words, pending) = restore_mem_state(state, n_words, self.inflight_cap)?;
+        *self.words.lock() = words;
+        self.pending = pending;
         Ok(())
     }
 }
@@ -206,6 +288,22 @@ impl Module for MemArray {
                     .push_back((ctx.now() + self.latency, MemResp { tag: req.tag, data }));
             }
         }
+        Ok(())
+    }
+
+    fn state_save(&self) -> Result<Vec<u8>, SimError> {
+        save_mem_state(&self.words, &self.pending)
+    }
+
+    fn state_restore(&mut self, state: &[u8]) -> Result<(), SimError> {
+        if state.is_empty() {
+            self.words.iter_mut().for_each(|w| *w = 0);
+            self.pending.clear();
+            return Ok(());
+        }
+        let (words, pending) = restore_mem_state(state, self.words.len(), self.inflight_cap)?;
+        self.words = words;
+        self.pending = pending;
         Ok(())
     }
 }

@@ -148,6 +148,37 @@ impl Module for Queue {
         // buffered, even on steps without a transfer.
         !self.items.is_empty()
     }
+
+    fn state_save(&self) -> Result<Vec<u8>, SimError> {
+        let mut w = StateWriter::new();
+        w.put_len(self.items.len());
+        for v in &self.items {
+            w.put_value(v)?;
+        }
+        Ok(w.into_bytes())
+    }
+
+    fn state_restore(&mut self, state: &[u8]) -> Result<(), SimError> {
+        if state.is_empty() {
+            self.items.clear();
+            return Ok(());
+        }
+        let mut r = StateReader::new(state);
+        let n = r.get_len()?;
+        if n > self.depth {
+            return Err(SimError::model(format!(
+                "queue: restored occupancy {n} exceeds depth {}",
+                self.depth
+            )));
+        }
+        let mut items = VecDeque::with_capacity(self.depth);
+        for _ in 0..n {
+            items.push_back(r.get_value()?);
+        }
+        r.expect_end()?;
+        self.items = items;
+        Ok(())
+    }
 }
 
 /// Construct a queue instance from parameters (see module docs).

@@ -37,6 +37,32 @@ impl Module for Reg {
         }
         Ok(())
     }
+
+    fn state_save(&self) -> Result<Vec<u8>, SimError> {
+        let mut w = StateWriter::new();
+        match &self.held {
+            Some(v) => {
+                w.put_bool(true);
+                w.put_value(v)?;
+            }
+            None => w.put_bool(false),
+        }
+        Ok(w.into_bytes())
+    }
+
+    fn state_restore(&mut self, state: &[u8]) -> Result<(), SimError> {
+        if state.is_empty() {
+            self.held = None;
+            return Ok(());
+        }
+        let mut r = StateReader::new(state);
+        self.held = if r.get_bool()? {
+            Some(r.get_value()?)
+        } else {
+            None
+        };
+        r.expect_end()
+    }
 }
 
 /// Construct a pipeline register.

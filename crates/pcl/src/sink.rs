@@ -31,6 +31,12 @@ impl Collected {
     }
 }
 
+// The sink's durable numbers (received/sum counters) live in the central
+// `Stats` store and are checkpointed there, so the default (stateless)
+// `state_save`/`state_restore` hooks are correct. The optional
+// `Collected` buffer is an external observation channel shared with the
+// host — like a probe sink, it is deliberately not part of module state:
+// a restored run re-collects only what it re-delivers.
 struct Sink {
     collected: Option<Collected>,
 }

@@ -29,6 +29,32 @@ impl Module for ScriptSource {
         }
         Ok(())
     }
+
+    fn state_save(&self) -> Result<Vec<u8>, SimError> {
+        // The script itself is configuration, not state: only the cursor
+        // is durable.
+        let mut w = StateWriter::new();
+        w.put_len(self.next);
+        Ok(w.into_bytes())
+    }
+
+    fn state_restore(&mut self, state: &[u8]) -> Result<(), SimError> {
+        if state.is_empty() {
+            self.next = 0;
+            return Ok(());
+        }
+        let mut r = StateReader::new(state);
+        let next = r.get_u64()? as usize;
+        r.expect_end()?;
+        if next > self.script.len() {
+            return Err(SimError::model(format!(
+                "script_source: restored cursor {next} beyond script length {}",
+                self.script.len()
+            )));
+        }
+        self.next = next;
+        Ok(())
+    }
 }
 
 /// A source that sends the given script of values, in order, retrying each
@@ -75,6 +101,8 @@ pub fn repeating(value: Value) -> Instantiated {
 
 /// Arithmetic word sequence source (the registry template).
 struct SeqSource {
+    start: u64,
+    count: u64,
     next_val: u64,
     step: u64,
     remaining: u64,
@@ -98,6 +126,27 @@ impl Module for SeqSource {
         }
         Ok(())
     }
+
+    fn state_save(&self) -> Result<Vec<u8>, SimError> {
+        // `step` and `period` are configuration; the generator's durable
+        // state is where the sequence stands.
+        let mut w = StateWriter::new();
+        w.put_u64(self.next_val);
+        w.put_u64(self.remaining);
+        Ok(w.into_bytes())
+    }
+
+    fn state_restore(&mut self, state: &[u8]) -> Result<(), SimError> {
+        if state.is_empty() {
+            self.next_val = self.start;
+            self.remaining = self.count;
+            return Ok(());
+        }
+        let mut r = StateReader::new(state);
+        self.next_val = r.get_u64()?;
+        self.remaining = r.get_u64()?;
+        r.expect_end()
+    }
 }
 
 /// Construct a sequence source.
@@ -106,12 +155,16 @@ impl Module for SeqSource {
 /// (default unbounded), `period` (emit every N cycles, default 1).
 pub fn seq(params: &Params) -> Result<Instantiated, SimError> {
     let period = params.usize_or("period", 1)?.max(1) as u64;
+    let start = params.int_or("start", 0)? as u64;
+    let count = params.int_or("count", i64::MAX)? as u64;
     Ok((
         ModuleSpec::new("seq_source").output("out", 0, 1),
         Box::new(SeqSource {
-            next_val: params.int_or("start", 0)? as u64,
+            start,
+            count,
+            next_val: start,
             step: params.int_or("step", 1)? as u64,
-            remaining: params.int_or("count", i64::MAX)? as u64,
+            remaining: count,
             period,
         }),
     ))
