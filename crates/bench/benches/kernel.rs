@@ -26,7 +26,7 @@
 //! compare on a shared machine.
 
 use liberty_bench::kernel::{
-    run_workload_probed, KernelRun, ProbeMode, MEASURED_SCHEDS, WORKLOADS,
+    run_workload_governed, run_workload_probed, KernelRun, ProbeMode, MEASURED_SCHEDS, WORKLOADS,
 };
 use liberty_bench::table;
 use liberty_core::prelude::SchedKind;
@@ -163,7 +163,45 @@ fn main() {
         )
     );
 
-    // --- Baseline guard ---
+    // --- Supervisor parity: governed (never-binding budget) vs off ---
+    // The baseline guard below compares the supervisor-OFF runs, which
+    // is the default path: with no governance installed, `run()` pays a
+    // single `Option` check per call and nothing per step. This table
+    // documents what arming the supervisor costs when its budgets never
+    // bind (one boundary check per step).
+    let mut rows = Vec::new();
+    for &w in WORKLOADS {
+        let off = off_runs
+            .iter()
+            .find(|r| r.workload == w && r.sched == SchedKind::Static)
+            .expect("off run measured");
+        let g = (0..best.max(1))
+            .map(|_| run_workload_governed(w, SchedKind::Static, cycles))
+            .min_by(|a, b| a.secs.total_cmp(&b.secs))
+            .expect("best >= 1");
+        rows.push(vec![
+            w.to_string(),
+            format!("{:.0}", off.steps_per_sec()),
+            format!(
+                "{:.0} ({:.2}x)",
+                g.steps_per_sec(),
+                off.steps_per_sec() / g.steps_per_sec()
+            ),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "workload (Static)",
+                "supervisor off steps/s",
+                "governed, unbounded (slowdown)",
+            ],
+            &rows
+        )
+    );
+
+    // --- Baseline guard (supervisor off: the default run path) ---
     if let Some(path) = write_baseline {
         let mut f = std::fs::File::create(resolve(&path)).expect("create baseline file");
         writeln!(

@@ -392,6 +392,25 @@ pub fn run_workload(workload: &'static str, sched: SchedKind, cycles: u64) -> Ke
     run_workload_probed(workload, sched, cycles, ProbeMode::Off)
 }
 
+/// Run one workload with the run supervisor armed but never binding: a
+/// step budget far above the horizon. Measures the cost of routing
+/// through the governed loop (one boundary check per step) against the
+/// supervisor-off path — the supervisor-parity experiment. The default
+/// (no governance installed) pays a single `Option` check per *run
+/// call*, which is what the baseline guard measures.
+pub fn run_workload_governed(workload: &'static str, sched: SchedKind, cycles: u64) -> KernelRun {
+    let mut sim = build(workload, sched);
+    sim.set_budget(RunBudget::new().max_steps(u64::MAX));
+    sim.run(cycles / 10).unwrap();
+    let (_, secs) = timed(|| sim.run(cycles).unwrap());
+    KernelRun {
+        workload,
+        sched,
+        cycles,
+        secs,
+    }
+}
+
 /// Measure every workload with every measured scheduler.
 pub fn run_all(cycles: u64) -> Vec<KernelRun> {
     let mut out = Vec::new();

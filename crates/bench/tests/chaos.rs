@@ -226,3 +226,195 @@ fn different_seeds_draw_different_plans() {
     let b = FaultPlan::random(2, &topo, CYCLES, 0.25);
     assert_ne!(a.signal_faults(), b.signal_faults());
 }
+
+// ---------------------------------------------------------------------
+// Governed soak: tight budgets, random cancellation, sink stalls
+// ---------------------------------------------------------------------
+
+/// Run `body` on a worker thread and fail hard if it does not finish
+/// within `secs` — the "never hangs" contract is enforced by the test
+/// itself, not only by the CI job timeout.
+fn with_hard_timeout(secs: u64, body: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let t = std::thread::spawn(move || {
+        body();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(std::time::Duration::from_secs(secs))
+        .expect("governed soak exceeded its hard timeout (hang?)");
+    t.join().expect("soak thread panicked");
+}
+
+/// Trips the token at the end of step `at`.
+struct CancelAt {
+    at: u64,
+    token: CancelToken,
+}
+impl Probe for CancelAt {
+    fn step_end(&mut self, now: u64) {
+        if now == self.at {
+            self.token.cancel();
+        }
+    }
+}
+
+/// Every exit path must produce a well-formed report: internally
+/// consistent counters and a renderable summary.
+#[track_caller]
+fn assert_wellformed(report: &liberty_core::prelude::RunReport, ctx: &str) {
+    assert!(
+        report.steps_completed <= report.steps_requested,
+        "{ctx}: {report:?}"
+    );
+    assert!(
+        report.steps_executed >= report.steps_completed,
+        "{ctx}: replays only add steps: {report:?}"
+    );
+    let text = report.render();
+    assert!(text.contains(report.outcome.label()), "{ctx}: {text}");
+    match report.outcome {
+        RunOutcome::Completed => assert!(!report.stopped_early(), "{ctx}"),
+        RunOutcome::Degraded => {
+            assert!(!report.quarantined.is_empty(), "{ctx}: {report:?}")
+        }
+        RunOutcome::Failed => assert!(report.error.is_some(), "{ctx}: {report:?}"),
+        RunOutcome::Cancelled | RunOutcome::BudgetExhausted(_) => {
+            assert!(report.stopped_early(), "{ctx}")
+        }
+    }
+}
+
+#[test]
+fn governed_soak_every_exit_path_yields_a_wellformed_report() {
+    with_hard_timeout(300, || {
+        let soak_targets = [WORKLOADS[0], "specs/pipeline.lss", "sensor field"];
+        for name in soak_targets {
+            for &seed in SEEDS {
+                // Tight step budget.
+                let mut sim = build_target(name, SchedKind::Dynamic);
+                arm_chaos(&mut sim, seed);
+                sim.set_budget(RunBudget::new().max_steps(seed % 7 + 1));
+                let r = sim.run_governed(CYCLES);
+                assert_wellformed(&r, &format!("{name} seed {seed} steps-budget"));
+                assert!(r.stopped_early() || r.error.is_some(), "{name}: {r:?}");
+
+                // Expired deadline: stops before the first step.
+                let mut sim = build_target(name, SchedKind::Dynamic);
+                arm_chaos(&mut sim, seed);
+                sim.set_budget(RunBudget::new().deadline(std::time::Duration::ZERO));
+                let r = sim.run_governed(CYCLES);
+                assert_wellformed(&r, &format!("{name} seed {seed} deadline"));
+                assert_eq!(r.steps_executed, 0);
+
+                // Random mid-run cancellation (token tripped by a probe,
+                // same path a signal handler takes). Snapshot-incapable
+                // targets make the final checkpoint fail — which must
+                // not mask the cancellation.
+                let mut sim = build_target(name, SchedKind::Dynamic);
+                let token = CancelToken::new();
+                sim.set_probe(Box::new(CancelAt {
+                    at: seed % (CYCLES - 1),
+                    token: token.clone(),
+                }));
+                arm_chaos(&mut sim, seed);
+                sim.set_cancel_token(token);
+                let r = sim.run_governed(CYCLES);
+                assert_wellformed(&r, &format!("{name} seed {seed} cancel"));
+                assert!(
+                    matches!(r.outcome, RunOutcome::Cancelled | RunOutcome::Failed),
+                    "{name} seed {seed}: {r:?}"
+                );
+
+                // Quarantine ceiling of zero: the first isolation (if the
+                // plan causes any) exhausts the budget.
+                let mut sim = build_target(name, SchedKind::Dynamic);
+                arm_chaos(&mut sim, seed);
+                sim.set_budget(RunBudget::new().max_quarantined(0));
+                let r = sim.run_governed(CYCLES);
+                assert_wellformed(&r, &format!("{name} seed {seed} quarantine-budget"));
+            }
+        }
+
+        // Retry ladder on a snapshot-capable target: rollback + masking
+        // retries, bounded by the policy, always terminating in a report.
+        for &seed in SEEDS {
+            let mut sim = build_target("specs/pipeline.lss", SchedKind::Dynamic);
+            arm_chaos(&mut sim, seed);
+            sim.set_retry_policy(RetryPolicy::with_max_retries(4));
+            sim.set_auto_checkpoint(8);
+            let r = sim.run_governed(CYCLES);
+            assert_wellformed(&r, &format!("pipeline seed {seed} retry"));
+            let retried: u64 = r.retries.values().sum();
+            assert!(retried <= 4, "policy bound respected: {r:?}");
+        }
+    });
+}
+
+/// A writer that stalls on every flush to the underlying sink —
+/// simulating a wedged disk or a slow consumer.
+struct StallingWriter {
+    stall: std::time::Duration,
+    written: usize,
+}
+impl Write for StallingWriter {
+    fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+        std::thread::sleep(self.stall);
+        self.written += b.len();
+        Ok(b.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn sink_stalls_are_absorbed_by_backpressure_policies() {
+    with_hard_timeout(120, || {
+        // Block: the run slows to the sink's pace but loses nothing and
+        // finishes. A small cap forces frequent blocking flushes.
+        let mut sim = build_target("specs/pipeline.lss", SchedKind::Dynamic);
+        let writer = BackpressureWriter::new(
+            StallingWriter {
+                stall: std::time::Duration::from_micros(200),
+                written: 0,
+            },
+            512,
+            SinkPolicy::Block,
+        );
+        let stats = writer.stats();
+        sim.set_probe(Box::new(JsonlProbe::new(writer)));
+        arm_chaos(&mut sim, SEEDS[0]);
+        sim.set_budget(RunBudget::new().max_steps(CYCLES));
+        let r = sim.run_governed(CYCLES);
+        assert_wellformed(&r, "block-policy stall");
+        drop(sim.take_probe());
+        assert!(
+            stats.blocking_flushes() > 0,
+            "tiny cap must force blocking flushes"
+        );
+        assert_eq!(stats.dropped_records(), 0, "Block never sheds");
+
+        // DropOldest: the run never waits on the stalled sink; history
+        // is shed, counted, and the run still completes its budget.
+        let mut sim = build_target("specs/pipeline.lss", SchedKind::Dynamic);
+        let writer = BackpressureWriter::new(
+            StallingWriter {
+                stall: std::time::Duration::from_micros(200),
+                written: 0,
+            },
+            512,
+            SinkPolicy::DropOldest,
+        );
+        let stats = writer.stats();
+        sim.set_probe(Box::new(JsonlProbe::new(writer)));
+        arm_chaos(&mut sim, SEEDS[0]);
+        let r = sim.run_governed(CYCLES);
+        assert_wellformed(&r, "drop-policy stall");
+        drop(sim.take_probe());
+        assert!(
+            stats.dropped_records() > 0,
+            "tiny cap must shed records under chaos event volume"
+        );
+        assert!(stats.dropped_bytes() > 0);
+    });
+}

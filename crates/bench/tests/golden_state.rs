@@ -196,3 +196,19 @@ fn broken_checkpoint_corpus_yields_structured_diagnostics() {
         expect_diag(name, &err);
     }
 }
+
+#[test]
+fn missing_checkpoint_reports_the_offending_path() {
+    // The Io diagnostic names the file it failed on — both structurally
+    // and in the rendered message, so an operator can tell *which* of a
+    // run's checkpoints was unreadable.
+    let absent = golden_dir().join("bad").join("no_such.ckpt");
+    let err = Snapshot::read_file(&absent).expect_err("missing file must not read");
+    match err.as_checkpoint() {
+        Some(CheckpointError::Io { path, .. }) => {
+            assert!(path.ends_with("no_such.ckpt"), "{}", path.display());
+        }
+        other => panic!("wrong diagnostic {other:?}"),
+    }
+    assert!(err.to_string().contains("no_such.ckpt"), "{err}");
+}

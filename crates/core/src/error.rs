@@ -99,8 +99,15 @@ pub enum CheckpointError {
     /// fit the simulator it is being restored into (instance/edge census
     /// mismatch, module state blob rejected).
     Malformed(String),
-    /// The checkpoint file could not be read or written.
-    Io(String),
+    /// The checkpoint file could not be read or written; carries the
+    /// offending path so a host juggling several checkpoint directories
+    /// can tell which file failed.
+    Io {
+        /// The file (or directory) the I/O operation targeted.
+        path: std::path::PathBuf,
+        /// The rendered `std::io::Error`.
+        msg: String,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -120,7 +127,7 @@ impl fmt::Display for CheckpointError {
                 write!(f, "truncated: need {needed} bytes, have {available}")
             }
             CheckpointError::Malformed(m) => write!(f, "malformed: {m}"),
-            CheckpointError::Io(m) => write!(f, "io: {m}"),
+            CheckpointError::Io { path, msg } => write!(f, "io: {}: {msg}", path.display()),
         }
     }
 }

@@ -45,6 +45,10 @@ use crate::signal::{Res, Wire, WireWrite, WriteOutcome};
 use crate::snapshot::Snapshot;
 use crate::stats::{Stats, StatsReport};
 use crate::store::SignalStore;
+use crate::supervisor::{
+    BudgetKind, CancelToken, MemoryGauge, RetryCause, RetryPolicy, RunBudget, RunOutcome,
+    RunReport, SupervisorState,
+};
 use crate::topology::{InstanceInfo, PortMeta, Topology};
 use crate::value::Value;
 use std::collections::{BTreeMap, VecDeque};
@@ -223,6 +227,10 @@ pub struct Simulator {
     /// Checkpoint / recovery state; `None` (the default) keeps `run` on
     /// the plain fixed-cycle loop.
     ckpt: Option<Box<CheckpointState>>,
+    /// Run-governance state (budgets, cancellation, retry policy);
+    /// `None` (the default) keeps `run` off the governed loop entirely —
+    /// one branch per run call, zero per-step cost.
+    sup: Option<Box<SupervisorState>>,
     /// The compiled invocation plan (compiled schedulers only; shared
     /// via the topology's cache).
     plan: Option<Arc<CompiledPlan>>,
@@ -290,6 +298,7 @@ impl Simulator {
             transfer_counts: vec![0; n_edges],
             resil: None,
             ckpt: None,
+            sup: None,
             plan,
             threads: 0,
             pool: None,
@@ -385,6 +394,280 @@ impl Simulator {
     /// How many times the recovery path rolled the run back.
     pub fn rollbacks(&self) -> u64 {
         self.ckpt.as_ref().map_or(0, |c| c.rollbacks)
+    }
+
+    fn sup_mut(&mut self) -> &mut SupervisorState {
+        self.sup
+            .get_or_insert_with(|| Box::new(SupervisorState::new()))
+    }
+
+    /// Retry attempts allowed per individual cause (instance/edge): 1 —
+    /// the original retry-once behaviour — unless a retry policy raises
+    /// it.
+    fn per_cause_cap(&self) -> usize {
+        self.sup
+            .as_ref()
+            .map_or(1, |s| s.retry.per_cause.max(1) as usize)
+    }
+
+    /// Install a cooperative [`RunBudget`]. Budgets are enforced at step
+    /// boundaries by the governed run loop ([`Simulator::run`] routes
+    /// through it once any governance is installed); an unset simulator
+    /// pays a single `Option` check per *run call*, nothing per step.
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.sup_mut().budget = budget;
+    }
+
+    /// Install a [`CancelToken`]. When tripped (from another thread or a
+    /// signal handler), the governed loop exits at the next step
+    /// boundary: in-flight level-parallel partitions drain at their
+    /// completion barrier, a final checkpoint is taken, and the run
+    /// returns [`RunOutcome::Cancelled`].
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.sup_mut().cancel = Some(token);
+    }
+
+    /// Install a [`RetryPolicy`], generalizing the rollback-retry-once
+    /// behaviour into a bounded escalation ladder: retry from checkpoint
+    /// (with backoff) → mask the offending fault/edge → leave the
+    /// instance quarantined → degrade to partial results. Also arms
+    /// rollback — retries restore the last checkpoint.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.sup_mut().retry = policy;
+        self.ckpt_mut().rollback = true;
+    }
+
+    /// Install a memory gauge (typically wired to a counting global
+    /// allocator) for [`RunBudget::max_memory_bytes`]. Polled once per
+    /// step boundary during governed runs; never on the hot path.
+    pub fn set_memory_gauge(&mut self, gauge: impl Fn() -> u64 + Send + Sync + 'static) {
+        self.sup_mut().gauge = Some(Arc::new(gauge) as MemoryGauge);
+    }
+
+    /// The report of the most recent governed run, if any.
+    pub fn last_run_report(&self) -> Option<&RunReport> {
+        self.sup.as_ref().and_then(|s| s.last_report.as_ref())
+    }
+
+    /// True when any governance (budget, token, policy, gauge) is
+    /// installed and `run` will route through the governed loop.
+    pub fn is_governed(&self) -> bool {
+        self.sup.is_some()
+    }
+
+    /// Run `cycles` steps under governance and return the structured
+    /// [`RunReport`] — from **every** exit path: completion, budget
+    /// exhaustion, cancellation, degradation and failure alike. Callable
+    /// on an ungoverned simulator too (the report then just describes a
+    /// plain run).
+    pub fn run_governed(&mut self, cycles: u64) -> RunReport {
+        self.run_governed_until(cycles, |_| false)
+    }
+
+    /// [`Simulator::run_governed`] with an early-exit predicate, checked
+    /// after each completed step (the governed analogue of
+    /// [`Simulator::run_until`]). Reaching the predicate counts as
+    /// completion.
+    pub fn run_governed_until(
+        &mut self,
+        max_cycles: u64,
+        mut pred: impl FnMut(&Stats) -> bool,
+    ) -> RunReport {
+        let started = std::time::Instant::now();
+        let start_now = self.now;
+        // Counted locally rather than via `metrics.steps`: a rollback
+        // restores the metrics from the snapshot, but replayed steps are
+        // real work and must count against the step budget.
+        let mut executed: u64 = 0;
+        let target = self.now.saturating_add(max_cycles);
+        {
+            let s = self.sup_mut();
+            s.retries.clear();
+            s.total_retries = 0;
+            s.mem_peak = 0;
+        }
+        let mut outcome = RunOutcome::Completed;
+        let mut error: Option<SimError> = None;
+        // A rollback needs a target even before the first periodic
+        // checkpoint: seed one at the starting boundary.
+        if self
+            .ckpt
+            .as_ref()
+            .is_some_and(|c| c.rollback && c.last.is_none())
+        {
+            match self.snapshot() {
+                Ok(s) => self.ckpt_mut().last = Some(Arc::new(s)),
+                Err(e) => {
+                    error = Some(e);
+                    outcome = RunOutcome::Failed;
+                }
+            }
+        }
+        while error.is_none() && self.now < target {
+            if let Some(stop) = self.governed_stop(started, executed) {
+                outcome = stop;
+                break;
+            }
+            let q_before = self.metrics.quarantines;
+            match self.step() {
+                Ok(()) => {
+                    executed += 1;
+                    if self.metrics.quarantines > q_before && self.retry_budget_left() {
+                        match self.try_rollback_quarantine() {
+                            Ok(true) => {
+                                self.note_retry(RetryCause::Quarantine);
+                                continue;
+                            }
+                            Ok(false) => {} // quarantine stands (ladder step 3)
+                            Err(e) => {
+                                error = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    if let Err(e) = self.maybe_auto_checkpoint() {
+                        error = Some(e);
+                        break;
+                    }
+                    if pred(&self.stats) {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    let retried = if self.retry_budget_left() {
+                        self.try_rollback_divergence(&e)
+                    } else {
+                        Ok(false)
+                    };
+                    match retried {
+                        Ok(true) => self.note_retry(RetryCause::Divergence),
+                        Ok(false) => {
+                            error = Some(e);
+                            break;
+                        }
+                        Err(e2) => {
+                            error = Some(e2);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if error.is_some() {
+            outcome = RunOutcome::Failed;
+        } else if matches!(outcome, RunOutcome::Completed)
+            && !self.quarantined_instances().is_empty()
+        {
+            // Reached the target, but only by isolating instances: the
+            // results are partial (ladder step 4).
+            outcome = RunOutcome::Degraded;
+        }
+        // A budget stop on a checkpointing simulator preserves progress
+        // too (cancellation already checkpointed inside governed_stop).
+        if matches!(outcome, RunOutcome::BudgetExhausted(_)) && self.ckpt.is_some() {
+            let _ = self.checkpoint_now();
+        }
+        let report = self.build_report(outcome, max_cycles, start_now, executed, started, error);
+        self.sup_mut().last_report = Some(report.clone());
+        report
+    }
+
+    /// The step-boundary governance check: cancellation first (it also
+    /// takes the final checkpoint), then each budget axis in a fixed
+    /// order. Returns the outcome to stop with, if any.
+    fn governed_stop(&mut self, started: std::time::Instant, executed: u64) -> Option<RunOutcome> {
+        let s = self.sup.as_deref_mut()?;
+        if s.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+            let now = self.now;
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.run_cancelled(now);
+            }
+            // Preserve the work done so far: the in-memory snapshot is
+            // always taken; it also lands on disk when a checkpoint
+            // directory is configured. A snapshot failure must not mask
+            // the cancellation.
+            let _ = self.checkpoint_now();
+            return Some(RunOutcome::Cancelled);
+        }
+        if let Some(max) = s.budget.max_steps {
+            if executed >= max {
+                return Some(RunOutcome::BudgetExhausted(BudgetKind::Steps));
+            }
+        }
+        if let Some(deadline) = s.budget.deadline {
+            if started.elapsed() >= deadline {
+                return Some(RunOutcome::BudgetExhausted(BudgetKind::Deadline));
+            }
+        }
+        if let Some(gauge) = &s.gauge {
+            let used = gauge();
+            s.mem_peak = s.mem_peak.max(used);
+            if s.budget.max_memory_bytes.is_some_and(|ceil| used > ceil) {
+                return Some(RunOutcome::BudgetExhausted(BudgetKind::Memory));
+            }
+        }
+        if let Some(max_q) = s.budget.max_quarantined {
+            if self.metrics.quarantines > max_q {
+                return Some(RunOutcome::BudgetExhausted(BudgetKind::Quarantine));
+            }
+        }
+        None
+    }
+
+    /// True while the retry policy's total budget has attempts left.
+    fn retry_budget_left(&self) -> bool {
+        self.sup
+            .as_ref()
+            .is_none_or(|s| s.total_retries < s.retry.max_retries)
+    }
+
+    /// Account a performed retry and apply the policy's backoff (a pure
+    /// host-side delay: the simulated clock and the probe stream are
+    /// unaffected, so retried runs stay byte-identical).
+    fn note_retry(&mut self, cause: RetryCause) {
+        let s = self.sup_mut();
+        s.total_retries += 1;
+        *s.retries.entry(cause.label()).or_insert(0) += 1;
+        let delay = s.retry.backoff_for(s.total_retries);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+    }
+
+    fn build_report(
+        &mut self,
+        outcome: RunOutcome,
+        steps_requested: u64,
+        start_now: u64,
+        executed: u64,
+        started: std::time::Instant,
+        error: Option<SimError>,
+    ) -> RunReport {
+        let quarantined: Vec<String> = self
+            .quarantined_instances()
+            .into_iter()
+            .map(|i| self.topo.name(i).to_string())
+            .collect();
+        let last_checkpoint = self.ckpt.as_ref().and_then(|c| {
+            let dir = c.dir.as_ref()?;
+            let snap = c.last.as_ref()?;
+            let path = dir.join(format!("step-{:08}.ckpt", snap.now()));
+            path.exists().then_some(path)
+        });
+        let s = self.sup.as_deref();
+        RunReport {
+            outcome,
+            steps_requested,
+            steps_completed: self.now.saturating_sub(start_now),
+            steps_executed: executed,
+            elapsed: started.elapsed(),
+            retries: s.map(|s| s.retries.clone()).unwrap_or_default(),
+            rollbacks: self.rollbacks(),
+            memory_peak: s.and_then(|s| s.gauge.is_some().then_some(s.mem_peak)),
+            quarantined,
+            last_checkpoint,
+            error,
+        }
     }
 
     /// Capture the full durable simulator state at the current step
@@ -491,7 +774,10 @@ impl Simulator {
         c.last = Some(Arc::clone(&snap));
         if let Some(dir) = c.dir.clone() {
             std::fs::create_dir_all(&dir).map_err(|e| {
-                SimError::checkpoint(CheckpointError::Io(format!("{}: {e}", dir.display())))
+                SimError::checkpoint(CheckpointError::Io {
+                    path: dir.clone(),
+                    msg: e.to_string(),
+                })
             })?;
             snap.write_file(&dir.join(format!("step-{now:08}.ckpt")))?;
         }
@@ -524,12 +810,15 @@ impl Simulator {
         let Some(snap) = c.last.clone() else {
             return Ok(false);
         };
+        // Attempts per individual instance: 1 unless a retry policy
+        // raises it (the supervisor's per-cause cap).
+        let cap = self.per_cause_cap();
         let fresh: Vec<u32> = self
             .quarantined_instances()
             .into_iter()
             .map(|i| i.0)
             .filter(|i| !snap.quarantined.contains(i))
-            .filter(|i| !c.attempted_insts.contains(i))
+            .filter(|i| c.attempted_insts.iter().filter(|&&a| a == *i).count() < cap)
             .collect();
         if fresh.is_empty() {
             return Ok(false);
@@ -575,11 +864,12 @@ impl Simulator {
         let Some(snap) = c.last.clone() else {
             return Ok(false);
         };
+        let cap = self.per_cause_cap();
         let fresh: Vec<u32> = info
             .oscillating
             .iter()
             .map(|w| w.edge)
-            .filter(|e| !c.attempted_edges.contains(e))
+            .filter(|e| c.attempted_edges.iter().filter(|&&a| a == *e).count() < cap)
             .collect();
         if fresh.is_empty() {
             return Ok(false);
@@ -775,11 +1065,22 @@ impl Simulator {
         &self.transfer_counts
     }
 
-    /// Run `cycles` time-steps. When checkpointing or rollback is
-    /// configured, the loop auto-checkpoints at period boundaries and
-    /// rewinds on recoverable quarantine/divergence; otherwise it is the
-    /// plain step loop with no per-step overhead.
+    /// Run `cycles` time-steps. When governance (budget / cancel token /
+    /// retry policy) is installed, the loop routes through
+    /// [`Simulator::run_governed`] — budget and cancellation stops then
+    /// return `Ok` with the details in [`Simulator::last_run_report`];
+    /// only [`RunOutcome::Failed`] surfaces as `Err`. When checkpointing
+    /// or rollback is configured, the loop auto-checkpoints at period
+    /// boundaries and rewinds on recoverable quarantine/divergence;
+    /// otherwise it is the plain step loop with no per-step overhead.
     pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
+        if self.sup.is_some() {
+            let report = self.run_governed(cycles);
+            return match report.error {
+                Some(e) => Err(e),
+                None => Ok(()),
+            };
+        }
         if self.ckpt.is_some() {
             return self.run_recoverable(cycles);
         }
@@ -790,12 +1091,21 @@ impl Simulator {
     }
 
     /// Run until `pred` returns true (checked after each step) or until
-    /// `max_cycles` elapse. Returns the number of steps executed.
+    /// `max_cycles` elapse. Returns the number of steps executed. Like
+    /// [`Simulator::run`], routes through the governed loop when
+    /// governance is installed.
     pub fn run_until(
         &mut self,
         max_cycles: u64,
         mut pred: impl FnMut(&Stats) -> bool,
     ) -> Result<u64, SimError> {
+        if self.sup.is_some() {
+            let report = self.run_governed_until(max_cycles, pred);
+            return match report.error {
+                Some(e) => Err(e),
+                None => Ok(report.steps_completed),
+            };
+        }
         for c in 0..max_cycles {
             self.step()?;
             if pred(&self.stats) {
@@ -2788,5 +3098,219 @@ mod tests {
             );
             assert_eq!(cap, after, "{sched:?}");
         }
+    }
+
+    // ----- run governance ---------------------------------------------
+
+    fn simple_pair(sched: SchedKind) -> Simulator {
+        let mut b = NetlistBuilder::new();
+        let s = b
+            .add(
+                "s",
+                ModuleSpec::new("src").output("out", 1, 1),
+                Box::new(Src),
+            )
+            .unwrap();
+        let k = b.add("k", gated_sink_spec(), Box::new(GatedSink)).unwrap();
+        b.connect(s, "out", k, "in").unwrap();
+        Simulator::new(b.build().unwrap(), sched)
+    }
+
+    #[test]
+    fn step_budget_stops_the_run_and_reports_it() {
+        let mut sim = simple_pair(SchedKind::Dynamic);
+        sim.set_budget(RunBudget::default().max_steps(7));
+        let report = sim.run_governed(100);
+        assert_eq!(
+            report.outcome,
+            RunOutcome::BudgetExhausted(BudgetKind::Steps)
+        );
+        assert_eq!(report.steps_executed, 7);
+        assert_eq!(report.steps_completed, 7);
+        assert_eq!(report.steps_requested, 100);
+        assert!(report.stopped_early());
+        assert!(report.error.is_none());
+        assert_eq!(sim.last_run_report().unwrap().outcome, report.outcome);
+    }
+
+    #[test]
+    fn run_routes_through_governance_and_keeps_the_report() {
+        let mut sim = simple_pair(SchedKind::Static);
+        sim.set_budget(RunBudget::default().max_steps(3));
+        // A budget stop is not an error: the caller inspects the report.
+        sim.run(50).unwrap();
+        assert_eq!(sim.metrics().steps, 3);
+        let report = sim.last_run_report().unwrap();
+        assert_eq!(
+            report.outcome,
+            RunOutcome::BudgetExhausted(BudgetKind::Steps)
+        );
+        // A fresh run call resets per-run accounting.
+        sim.run(50).unwrap();
+        assert_eq!(sim.metrics().steps, 6);
+        assert_eq!(sim.last_run_report().unwrap().steps_executed, 3);
+    }
+
+    #[test]
+    fn zero_deadline_exhausts_immediately() {
+        let mut sim = simple_pair(SchedKind::Dynamic);
+        sim.set_budget(RunBudget::default().deadline(std::time::Duration::ZERO));
+        let report = sim.run_governed(1000);
+        assert_eq!(
+            report.outcome,
+            RunOutcome::BudgetExhausted(BudgetKind::Deadline)
+        );
+        assert_eq!(report.steps_executed, 0);
+    }
+
+    #[test]
+    fn memory_ceiling_uses_the_installed_gauge() {
+        let mut sim = simple_pair(SchedKind::Dynamic);
+        sim.set_budget(RunBudget::default().max_memory_bytes(1 << 20));
+        sim.set_memory_gauge(|| 2 << 20);
+        let report = sim.run_governed(100);
+        assert_eq!(
+            report.outcome,
+            RunOutcome::BudgetExhausted(BudgetKind::Memory)
+        );
+        assert_eq!(report.memory_peak, Some(2 << 20));
+        // Without a ceiling the gauge still tracks the peak.
+        let mut sim = simple_pair(SchedKind::Dynamic);
+        sim.set_budget(RunBudget::default().max_steps(4));
+        sim.set_memory_gauge(|| 123);
+        let report = sim.run_governed(100);
+        assert_eq!(report.memory_peak, Some(123));
+    }
+
+    #[test]
+    fn cancellation_stops_at_a_step_boundary_and_checkpoints() {
+        /// Trips the shared token at the end of step `at`.
+        struct CancelAt {
+            at: u64,
+            token: CancelToken,
+        }
+        impl Probe for CancelAt {
+            fn step_end(&mut self, now: u64) {
+                if now == self.at {
+                    self.token.cancel();
+                }
+            }
+        }
+        let token = CancelToken::new();
+        let mut sim = simple_pair(SchedKind::Compiled);
+        sim.set_probe(Box::new(CancelAt {
+            at: 4,
+            token: token.clone(),
+        }));
+        sim.set_cancel_token(token.clone());
+        let report = sim.run_governed(100);
+        assert_eq!(report.outcome, RunOutcome::Cancelled);
+        // Cancelled at the boundary after step 4 (steps 0..=4 ran).
+        assert_eq!(report.steps_executed, 5);
+        // The final checkpoint preserved the progress in memory.
+        let snap = sim.last_checkpoint().expect("cancel checkpoints");
+        assert_eq!(snap.now(), 5);
+        // The token stays tripped until reset: the next run is a no-op.
+        let report = sim.run_governed(100);
+        assert_eq!(report.outcome, RunOutcome::Cancelled);
+        assert_eq!(report.steps_executed, 0);
+        token.reset();
+    }
+
+    #[test]
+    fn quarantine_budget_caps_isolation() {
+        let mut sim = simple_pair(SchedKind::Dynamic);
+        sim.set_budget(RunBudget::default().max_quarantined(0));
+        // No quarantines happen, so the budget never trips.
+        let report = sim.run_governed(5);
+        assert_eq!(report.outcome, RunOutcome::Completed);
+        assert!(!report.stopped_early());
+        assert!(report.quarantined.is_empty());
+    }
+
+    /// Panics (once per replay) at step `at` — an organic fault the
+    /// retry ladder cannot mask away.
+    struct PanicAt {
+        at: u64,
+    }
+    impl Module for PanicAt {
+        fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+            if ctx.now() == self.at {
+                panic!("injected at {}", self.at);
+            }
+            ctx.send(PortId(0), 0, Value::Word(ctx.now()))
+        }
+        fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+            Ok(())
+        }
+    }
+
+    fn panicking_pair(at: u64) -> Simulator {
+        let mut b = NetlistBuilder::new();
+        let p = b
+            .add(
+                "p",
+                ModuleSpec::new("pan").output("out", 1, 1),
+                Box::new(PanicAt { at }),
+            )
+            .unwrap();
+        let k = b.add("k", gated_sink_spec(), Box::new(GatedSink)).unwrap();
+        b.connect(p, "out", k, "in").unwrap();
+        Simulator::new(b.build().unwrap(), SchedKind::Dynamic)
+    }
+
+    #[test]
+    fn retry_ladder_ends_in_degraded_completion() {
+        let mut sim = panicking_pair(3);
+        sim.set_failure_policy(FailurePolicy::Quarantine);
+        sim.set_retry_policy(RetryPolicy::default());
+        let report = sim.run_governed(10);
+        // One retry from the step-0 checkpoint, the replay panics again
+        // (organic fault), the per-cause cap leaves the quarantine
+        // standing and the run completes degraded.
+        assert_eq!(report.outcome, RunOutcome::Degraded);
+        assert!(!report.stopped_early());
+        assert_eq!(report.retries.get("quarantine"), Some(&1));
+        assert_eq!(report.rollbacks, 1);
+        assert_eq!(report.quarantined, vec!["p".to_string()]);
+        assert_eq!(report.steps_completed, 10);
+        // Steps 0..=3 (the panicking step completes by quarantining),
+        // then the rollback replays 0..=3, then 4..=9: 14 in total for
+        // 10 of forward progress.
+        assert_eq!(report.steps_executed, 14);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_stops_escalating() {
+        let mut sim = panicking_pair(2);
+        sim.set_failure_policy(FailurePolicy::Quarantine);
+        sim.set_retry_policy(RetryPolicy::with_max_retries(0));
+        let report = sim.run_governed(8);
+        // No retries at all: the quarantine stands on first occurrence.
+        assert_eq!(report.outcome, RunOutcome::Degraded);
+        assert!(report.retries.is_empty());
+        assert_eq!(report.rollbacks, 0);
+        assert_eq!(report.steps_executed, 8);
+    }
+
+    #[test]
+    fn governed_until_honours_the_predicate() {
+        let mut sim = simple_pair(SchedKind::Dynamic);
+        sim.set_budget(RunBudget::default().max_steps(50));
+        let k = sim.instance_by_name("k").unwrap();
+        let report = sim.run_governed_until(100, |s| s.counter(k, "received") >= 4);
+        assert_eq!(report.outcome, RunOutcome::Completed);
+        assert!(report.steps_executed >= 4 && report.steps_executed < 50);
+    }
+
+    #[test]
+    fn report_renders_every_field_group() {
+        let mut sim = simple_pair(SchedKind::Dynamic);
+        sim.set_budget(RunBudget::default().max_steps(2));
+        let report = sim.run_governed(9);
+        let text = report.render();
+        assert!(text.contains("budget-exhausted"), "{text}");
+        assert!(text.contains("2/9 steps"), "{text}");
+        assert!(text.contains("budget axis exhausted: steps"), "{text}");
     }
 }

@@ -454,7 +454,10 @@ fn corruption_mask(edge: u32, now: u64, seed: u64) -> u64 {
     m | 1
 }
 
-fn splitmix(mut z: u64) -> u64 {
+/// Finalizer of the SplitMix64 generator — shared with the supervisor's
+/// retry-backoff jitter so the core crate keeps a single deterministic
+/// mixing function.
+pub(crate) fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

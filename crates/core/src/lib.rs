@@ -31,6 +31,10 @@
 //! * [`snapshot`] — versioned, checksummed checkpoints of the full
 //!   simulator state, the substrate of the roll-back recovery path and
 //!   the golden-state regression corpus;
+//! * [`supervisor`] — run governance: cooperative budgets and deadlines,
+//!   external cancellation, the retry/backoff escalation ladder over the
+//!   checkpoint machinery, structured run reports, and bounded
+//!   backpressure for probe sinks;
 //! * [`params`] / [`registry`] — algorithmic parameters and the template
 //!   registry the component libraries populate.
 //!
@@ -88,6 +92,7 @@ pub mod signal;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
+pub mod supervisor;
 pub mod topology;
 pub mod trace;
 pub mod value;
@@ -113,6 +118,10 @@ pub mod prelude {
     pub use crate::snapshot::{Snapshot, StateReader, StateWriter};
     pub use crate::stats::{Histogram, Sample, Stats, StatsReport};
     pub use crate::store::SignalStore;
+    pub use crate::supervisor::{
+        BackpressureWriter, BudgetKind, CancelToken, MemoryGauge, RetryCause, RetryPolicy,
+        RunBudget, RunOutcome, RunReport, SinkPolicy, SinkStats,
+    };
     pub use crate::topology::{InstanceInfo, Topology};
     pub use crate::trace::{JsonlProbe, RecordingTracer, TextTracer, TraceEvent, TraceHandle};
     pub use crate::value::Value;

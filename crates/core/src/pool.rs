@@ -12,6 +12,15 @@
 //! caught on the worker, carried back as payloads, and surfaced to the
 //! caller (who re-raises after restoring state). This is the single
 //! `unsafe` island of the crate.
+//!
+//! Cancellation model: the pool needs no cancellation hooks of its own.
+//! Run governance ([`crate::supervisor`]) is cooperative and only checks
+//! its [`crate::supervisor::CancelToken`] at *step* boundaries, and
+//! `run`'s completion barrier guarantees a step never returns with a
+//! burst still in flight — so a cancelled level-parallel run always
+//! drains its dispatched partitions cleanly before the governed loop
+//! observes the token and checkpoints. No worker is ever abandoned
+//! mid-closure.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};

@@ -116,6 +116,11 @@ pub trait Probe: Send {
     /// a restore back to step `to` (always ≤ `now`), after masking the
     /// offending fault-plan entries. `reason` describes the trigger.
     fn rolled_back(&mut self, now: u64, to: u64, reason: &str) {}
+
+    /// A governed run observed its [`crate::supervisor::CancelToken`]
+    /// tripped and is exiting at the step boundary before step `now`
+    /// (after draining in-flight work and taking a final checkpoint).
+    fn run_cancelled(&mut self, now: u64) {}
 }
 
 /// Observer of completed transfers only — the original, narrow tracing
@@ -266,6 +271,11 @@ impl Probe for MultiProbe {
             p.rolled_back(now, to, reason);
         }
     }
+    fn run_cancelled(&mut self, now: u64) {
+        for p in &mut self.probes {
+            p.run_cancelled(now);
+        }
+    }
 }
 
 /// Event counters, shared through [`ProbeCountsHandle`]. The cheapest
@@ -296,6 +306,8 @@ pub struct ProbeCounts {
     pub restores: u64,
     /// `rolled_back` events seen.
     pub rollbacks: u64,
+    /// `run_cancelled` events seen.
+    pub cancels: u64,
 }
 
 /// Counting probe; create with [`CountingProbe::new`].
@@ -374,6 +386,9 @@ impl Probe for CountingProbe {
     }
     fn rolled_back(&mut self, _now: u64, _to: u64, _reason: &str) {
         self.counts.lock().expect("probe counts lock").rollbacks += 1;
+    }
+    fn run_cancelled(&mut self, _now: u64) {
+        self.counts.lock().expect("probe counts lock").cancels += 1;
     }
 }
 

@@ -565,7 +565,10 @@ impl Snapshot {
     /// under the real name.
     pub fn write_file(&self, path: &Path) -> Result<(), SimError> {
         let io = |e: std::io::Error| {
-            SimError::checkpoint(CheckpointError::Io(format!("{}: {e}", path.display())))
+            SimError::checkpoint(CheckpointError::Io {
+                path: path.to_path_buf(),
+                msg: e.to_string(),
+            })
         };
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
@@ -577,7 +580,10 @@ impl Snapshot {
     /// Read and validate a checkpoint file.
     pub fn read_file(path: &Path) -> Result<Snapshot, SimError> {
         let data = std::fs::read(path).map_err(|e| {
-            SimError::checkpoint(CheckpointError::Io(format!("{}: {e}", path.display())))
+            SimError::checkpoint(CheckpointError::Io {
+                path: path.to_path_buf(),
+                msg: e.to_string(),
+            })
         })?;
         Self::from_bytes(&data)
     }
@@ -893,8 +899,12 @@ mod tests {
         let missing = Snapshot::read_file(&dir.join("absent.ckpt")).unwrap_err();
         assert!(matches!(
             missing.as_checkpoint(),
-            Some(CheckpointError::Io(_))
+            Some(CheckpointError::Io { path, .. }) if path.ends_with("absent.ckpt")
         ));
+        assert!(
+            missing.to_string().contains("absent.ckpt"),
+            "Display names the offending path: {missing}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -157,8 +157,14 @@ impl Tracer for RecordingTracer {
 /// semantics), `transfer`, `fault` / `inst_fault` (active fault-plan
 /// injections), `quarantine` (instance isolation), `checkpoint` /
 /// `restore` / `rollback` (the recovery machinery of `crate::snapshot`),
-/// and — when enabled with [`JsonlProbe::with_handlers`] — `react` /
-/// `commit` handler brackets.
+/// `cancel` (a governed run observed its cancellation token, see
+/// `crate::supervisor`), and — when enabled with
+/// [`JsonlProbe::with_handlers`] — `react` / `commit` handler brackets.
+///
+/// When the consumer may be slower than the producer, wrap the writer in
+/// a [`crate::supervisor::BackpressureWriter`]: the stream is
+/// line-oriented, so its bounded buffer sheds or stalls on whole-record
+/// boundaries and the surviving output stays parseable.
 ///
 /// [`JsonlProbe::canonical`] restricts the stream to the
 /// scheduler-independent subset (everything except `resolve` and the
@@ -337,6 +343,10 @@ impl<W: Write + Send> Probe for JsonlProbe<W> {
             "{{\"t\":\"rollback\",\"now\":{now},\"to\":{to},\"reason\":\"{}\"}}",
             json_escape(reason),
         );
+    }
+
+    fn run_cancelled(&mut self, now: u64) {
+        let _ = writeln!(self.out, "{{\"t\":\"cancel\",\"now\":{now}}}");
     }
 }
 

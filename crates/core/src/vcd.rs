@@ -20,6 +20,13 @@
 //! One timestamp is emitted per time-step (`#<now>` at `step_end`), so
 //! timestamps increase strictly monotonically; only changed signals are
 //! dumped, keeping files compact on quiet netlists.
+//!
+//! Writes are line-oriented, so a slow or stalled consumer can be
+//! decoupled with bounded buffering by constructing the probe over a
+//! [`crate::supervisor::BackpressureWriter`]: `VcdProbe::new(
+//! BackpressureWriter::new(out, cap, SinkPolicy::Block))`. Note that
+//! `DropOldest` sheds whole *lines*, which for VCD means lost value
+//! changes — acceptable for live monitoring, not for golden files.
 
 use crate::netlist::EdgeId;
 use crate::probe::{Probe, ResolvedBy};

@@ -15,6 +15,10 @@
 //! --max-iters N               convergence watchdog bound per time-step
 //! --scheduler S               sweep | dynamic | static | compiled | compiled-par
 //! --threads N                 worker threads for --scheduler compiled-par
+//! --max-steps N               run-governance step budget
+//! --deadline SECS             run-governance wall-clock deadline
+//! --retries N                 retry/backoff supervisor (arms rollback)
+//! --sink-backpressure P[:B]   block | drop, bounded at B bytes (default 1 MiB)
 //! ```
 //!
 //! Usage inside an example:
@@ -23,9 +27,16 @@
 //! let opts = liberty_examples::ObsOpts::parse_env()?;
 //! // ... opts.rest holds the example's own positional args ...
 //! let obs = opts.install(&mut sim)?;
-//! sim.run(cycles)?;
+//! let report = opts.run(&mut sim, cycles)?;
 //! obs.finish(&sim)?;
 //! ```
+//!
+//! [`ObsOpts::run`] / [`ObsOpts::run_until`] route through the kernel's
+//! governed run loop: they install a SIGINT handler (Ctrl-C trips a
+//! [`CancelToken`], the run drains at the next step boundary, writes a
+//! final checkpoint and reports instead of dying mid-step), apply the
+//! governance flags above, and print the [`RunReport`] whenever the run
+//! stopped early or any governance flag was given.
 
 use liberty_core::prelude::*;
 use liberty_core::probe::json_escape;
@@ -50,12 +61,16 @@ pub struct ObsOpts {
     checkpoint_every: Option<u64>,
     checkpoint_dir: Option<PathBuf>,
     resume: Option<PathBuf>,
+    max_steps: Option<u64>,
+    deadline: Option<std::time::Duration>,
+    retries: Option<u64>,
+    sink_backpressure: Option<(SinkPolicy, usize)>,
     /// Arguments not consumed by the observability layer, in order.
     pub rest: Vec<String>,
 }
 
 /// One line per flag, for embedding in an example's usage message.
-pub const OBS_USAGE: &str = "  --trace             print transfers (cap with --trace-limit N, default 200)\n  --vcd PATH          dump data/enable/ack waveforms for GTKWave\n  --jsonl PATH        stream structured events as JSON lines\n  --profile           print a per-instance hot-spot table at exit\n  --metrics-out PATH  write engine metrics + statistics as JSON\n  --faults SEED       inject a seeded random fault plan (chaos mode)\n  --fault-horizon N   fault activity window for --faults (default 64)\n  --fault-policy P    abort | quarantine on module failure (default quarantine)\n  --max-iters N       convergence watchdog: bound reactions per time-step\n  --scheduler S       sweep | dynamic | static | compiled | compiled-par\n  --threads N         worker threads for --scheduler compiled-par\n  --checkpoint-every N  take a checkpoint every N steps\n  --checkpoint-dir DIR  persist checkpoints as DIR/step-NNNNNNNN.ckpt\n  --resume FILE       restore a checkpoint before running";
+pub const OBS_USAGE: &str = "  --trace             print transfers (cap with --trace-limit N, default 200)\n  --vcd PATH          dump data/enable/ack waveforms for GTKWave\n  --jsonl PATH        stream structured events as JSON lines\n  --profile           print a per-instance hot-spot table at exit\n  --metrics-out PATH  write engine metrics + statistics as JSON\n  --faults SEED       inject a seeded random fault plan (chaos mode)\n  --fault-horizon N   fault activity window for --faults (default 64)\n  --fault-policy P    abort | quarantine on module failure (default quarantine)\n  --max-iters N       convergence watchdog: bound reactions per time-step\n  --scheduler S       sweep | dynamic | static | compiled | compiled-par\n  --threads N         worker threads for --scheduler compiled-par\n  --checkpoint-every N  take a checkpoint every N steps\n  --checkpoint-dir DIR  persist checkpoints as DIR/step-NNNNNNNN.ckpt\n  --resume FILE       restore a checkpoint before running\n  --max-steps N       stop (with a run report) after N executed steps\n  --deadline SECS     stop (with a run report) after SECS wall-clock seconds\n  --retries N         retry from checkpoint up to N times on quarantine/divergence\n  --sink-backpressure P[:BYTES]  bound VCD/JSONL buffering: block | drop (default 1 MiB)";
 
 impl ObsOpts {
     /// Parse `std::env::args().skip(1)`.
@@ -146,6 +161,34 @@ impl ObsOpts {
                             .ok_or("--checkpoint-every requires a positive step count")?,
                     );
                 }
+                "--max-steps" => {
+                    o.max_steps = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--max-steps requires a step count")?,
+                    );
+                }
+                "--deadline" => {
+                    let secs: f64 = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+                        .ok_or("--deadline requires a number of seconds")?;
+                    o.deadline = Some(std::time::Duration::from_secs_f64(secs));
+                }
+                "--retries" => {
+                    o.retries = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--retries requires a retry count")?,
+                    );
+                }
+                "--sink-backpressure" => {
+                    let v = args
+                        .next()
+                        .ok_or("--sink-backpressure requires block | drop (optionally :BYTES)")?;
+                    o.sink_backpressure = Some(parse_sink_backpressure(&v)?);
+                }
                 _ if a == "--vcd" || a.starts_with("--vcd=") => {
                     o.vcd = Some(flag_path(&a, "--vcd", &mut args)?);
                 }
@@ -177,12 +220,26 @@ impl ObsOpts {
                 self.trace_limit,
             )))));
         }
+        let mut sinks: Vec<(&'static str, SinkStats)> = Vec::new();
         if let Some(path) = &self.vcd {
-            multi.push(Box::new(VcdProbe::create(path)?));
+            if let Some((policy, cap)) = self.sink_backpressure {
+                let f = std::io::BufWriter::new(std::fs::File::create(path)?);
+                let w = BackpressureWriter::new(f, cap, policy);
+                sinks.push(("vcd", w.stats()));
+                multi.push(Box::new(VcdProbe::new(w)));
+            } else {
+                multi.push(Box::new(VcdProbe::create(path)?));
+            }
         }
         if let Some(path) = &self.jsonl {
             let f = std::io::BufWriter::new(std::fs::File::create(path)?);
-            multi.push(Box::new(JsonlProbe::new(f)));
+            if let Some((policy, cap)) = self.sink_backpressure {
+                let w = BackpressureWriter::new(f, cap, policy);
+                sinks.push(("jsonl", w.stats()));
+                multi.push(Box::new(JsonlProbe::new(w)));
+            } else {
+                multi.push(Box::new(JsonlProbe::new(f)));
+            }
         }
         let mut profile = None;
         if self.profile {
@@ -232,11 +289,126 @@ impl ObsOpts {
             }
             sim.set_checkpoint_dir(dir.clone());
         }
+        if self.max_steps.is_some() || self.deadline.is_some() {
+            let mut budget = RunBudget::new();
+            if let Some(n) = self.max_steps {
+                budget = budget.max_steps(n);
+            }
+            if let Some(d) = self.deadline {
+                budget = budget.deadline(d);
+            }
+            sim.set_budget(budget);
+        }
+        if let Some(n) = self.retries {
+            sim.set_retry_policy(RetryPolicy::with_max_retries(n));
+            // Retries rewind to the last checkpoint; give them periodic
+            // targets when the host did not configure any.
+            if self.checkpoint_every.is_none() {
+                sim.set_auto_checkpoint(64);
+            }
+        }
         Ok(ObsSession {
             profile,
             metrics_out: self.metrics_out.clone(),
+            sinks,
         })
     }
+
+    /// True when any run-governance flag was given (and a report should
+    /// therefore always be printed).
+    pub fn governed(&self) -> bool {
+        self.max_steps.is_some() || self.deadline.is_some() || self.retries.is_some()
+    }
+
+    /// Run `cycles` steps through the governed loop: Ctrl-C cancels at
+    /// the next step boundary (writing a final checkpoint), the
+    /// governance flags bound the run, and the [`RunReport`] is printed
+    /// to stderr whenever the run stopped early or governance was
+    /// requested. Returns the report; `Err` only for a failed run (the
+    /// report is printed first).
+    pub fn run(&self, sim: &mut Simulator, cycles: u64) -> Result<RunReport, SimError> {
+        sim.set_cancel_token(sigint_token());
+        let report = sim.run_governed(cycles);
+        self.emit_report(&report);
+        match report.error.clone() {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// [`ObsOpts::run`] with an early-exit predicate — the governed
+    /// analogue of `Simulator::run_until`.
+    pub fn run_until(
+        &self,
+        sim: &mut Simulator,
+        max_cycles: u64,
+        pred: impl FnMut(&Stats) -> bool,
+    ) -> Result<RunReport, SimError> {
+        sim.set_cancel_token(sigint_token());
+        let report = sim.run_governed_until(max_cycles, pred);
+        self.emit_report(&report);
+        match report.error.clone() {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    fn emit_report(&self, report: &RunReport) {
+        if self.governed() || report.stopped_early() || report.error.is_some() {
+            eprint!("{}", report.render());
+        }
+    }
+}
+
+/// Parse `block`, `drop`, `block:BYTES` or `drop:BYTES`.
+fn parse_sink_backpressure(v: &str) -> Result<(SinkPolicy, usize), String> {
+    const DEFAULT_CAP: usize = 1 << 20; // 1 MiB
+    let (name, cap) = match v.split_once(':') {
+        Some((name, bytes)) => {
+            let cap = bytes
+                .parse()
+                .ok()
+                .filter(|&b: &usize| b > 0)
+                .ok_or("--sink-backpressure BYTES must be a positive byte count")?;
+            (name, cap)
+        }
+        None => (v, DEFAULT_CAP),
+    };
+    let policy = match name {
+        "block" => SinkPolicy::Block,
+        "drop" => SinkPolicy::DropOldest,
+        _ => return Err("--sink-backpressure requires block | drop (optionally :BYTES)".into()),
+    };
+    Ok((policy, cap))
+}
+
+/// The process-wide SIGINT cancellation token. The first call installs
+/// the handler; Ctrl-C then trips the flag and every governed run
+/// observes it at its next step boundary. On non-Unix targets the token
+/// simply never trips.
+pub fn sigint_token() -> CancelToken {
+    static CANCELLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    #[cfg(unix)]
+    {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        static INSTALLED: AtomicBool = AtomicBool::new(false);
+        extern "C" fn on_sigint(_signum: i32) {
+            // Async-signal-safe: a single relaxed store.
+            CANCELLED.store(true, Ordering::Relaxed);
+        }
+        if !INSTALLED.swap(true, Ordering::Relaxed) {
+            // `signal` is in libc, which std already links; declaring it
+            // directly avoids a dependency for one call.
+            extern "C" {
+                fn signal(signum: i32, handler: usize) -> usize;
+            }
+            const SIGINT: i32 = 2;
+            unsafe {
+                signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+            }
+        }
+    }
+    CancelToken::from_static(&CANCELLED)
 }
 
 /// Take a flag's path value from `--flag=PATH` or the next argument.
@@ -258,6 +430,7 @@ fn flag_path(
 pub struct ObsSession {
     profile: Option<ProfileHandle>,
     metrics_out: Option<PathBuf>,
+    sinks: Vec<(&'static str, SinkStats)>,
 }
 
 impl ObsSession {
@@ -275,6 +448,14 @@ impl ObsSession {
             let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
             f.write_all(metrics_json(sim).as_bytes())?;
             f.flush()?;
+        }
+        for (name, stats) in &self.sinks {
+            eprintln!(
+                "sink {name}: {} records dropped ({} bytes), {} blocking flushes",
+                stats.dropped_records(),
+                stats.dropped_bytes(),
+                stats.blocking_flushes()
+            );
         }
         Ok(())
     }
@@ -504,6 +685,121 @@ mod tests {
         obs.finish(&sim2).unwrap();
         assert_eq!(sim2.metrics().steps, 6);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parses_governance_flags() {
+        let o = parse(&[
+            "--max-steps",
+            "500",
+            "--deadline",
+            "2.5",
+            "--retries",
+            "3",
+            "--sink-backpressure",
+            "drop:4096",
+        ]);
+        assert_eq!(o.max_steps, Some(500));
+        assert_eq!(o.deadline, Some(std::time::Duration::from_millis(2500)));
+        assert_eq!(o.retries, Some(3));
+        assert_eq!(o.sink_backpressure, Some((SinkPolicy::DropOldest, 4096)));
+        assert!(o.governed());
+        assert!(o.rest.is_empty());
+
+        let o = parse(&["--sink-backpressure", "block"]);
+        assert_eq!(o.sink_backpressure, Some((SinkPolicy::Block, 1 << 20)));
+        assert!(!o.governed());
+
+        for bad in [
+            vec!["--max-steps"],
+            vec!["--deadline", "-1"],
+            vec!["--deadline", "soon"],
+            vec!["--retries", "x"],
+            vec!["--sink-backpressure", "lossless"],
+            vec!["--sink-backpressure", "drop:0"],
+        ] {
+            assert!(
+                ObsOpts::parse(bad.iter().map(|s| s.to_string())).is_err(),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn governed_run_stops_at_the_step_budget_and_reports() {
+        struct Src;
+        impl Module for Src {
+            fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+                ctx.send(PortId(0), 0, Value::Word(ctx.now()))
+            }
+            fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+                Ok(())
+            }
+        }
+        let mut b = NetlistBuilder::new();
+        b.add(
+            "s",
+            ModuleSpec::new("src").output("out", 0, 1),
+            Box::new(Src),
+        )
+        .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+        let o = parse(&["--max-steps", "5"]);
+        let obs = o.install(&mut sim).unwrap();
+        let report = o.run(&mut sim, 100).unwrap();
+        assert_eq!(
+            report.outcome,
+            RunOutcome::BudgetExhausted(BudgetKind::Steps)
+        );
+        assert_eq!(report.steps_executed, 5);
+        assert_eq!(sim.metrics().steps, 5);
+        obs.finish(&sim).unwrap();
+    }
+
+    #[test]
+    fn sink_backpressure_wraps_the_jsonl_sink() {
+        struct Src;
+        impl Module for Src {
+            fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+                ctx.send(PortId(0), 0, Value::Word(ctx.now()))
+            }
+            fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+                Ok(())
+            }
+        }
+        let mut b = NetlistBuilder::new();
+        b.add(
+            "s",
+            ModuleSpec::new("src").output("out", 0, 1),
+            Box::new(Src),
+        )
+        .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+        let path = std::env::temp_dir().join(format!("lse-obs-bp-{}.jsonl", std::process::id()));
+        let o = parse(&[
+            &format!("--jsonl={}", path.display()),
+            "--sink-backpressure",
+            "block:256",
+        ]);
+        let obs = o.install(&mut sim).unwrap();
+        sim.run(32).unwrap();
+        drop(sim.take_probe()); // flush through the bounded buffer
+        obs.finish(&sim).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().count() > 32, "events written through: {text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sigint_token_is_shared_and_initially_clear() {
+        let t = sigint_token();
+        assert!(!t.is_cancelled());
+        // The same process-wide flag backs every token.
+        let t2 = sigint_token();
+        t.cancel();
+        assert!(t2.is_cancelled());
+        t.reset();
+        assert!(!t2.is_cancelled());
     }
 
     #[test]

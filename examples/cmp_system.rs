@@ -28,9 +28,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cmp.pairs
     );
     let obs = opts.install(&mut sim)?;
-    let cycles = sim.run_until(500_000, |_| cmp.done())?;
-    sim.run(64)?;
+    let run = opts.run_until(&mut sim, 500_000, |_| cmp.done())?;
+    let cycles = run.steps_completed;
+    if !run.stopped_early() {
+        opts.run(&mut sim, 64)?;
+    }
     drop(sim.take_probe()); // flush --vcd / --jsonl files
+    if run.stopped_early() {
+        println!(
+            "run stopped early ({}); skipping checks",
+            run.outcome.label()
+        );
+        obs.finish(&sim)?;
+        return Ok(());
+    }
     match cmp.check_results() {
         Ok(()) => println!("all pair results correct after {cycles} cycles\n"),
         Err(e) => panic!("wrong results: {e}"),

@@ -42,9 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let obs = opts.install(&mut sim)?;
-    sim.run(cycles)?;
+    let run = opts.run(&mut sim, cycles)?;
     drop(sim.take_probe()); // flush --vcd / --jsonl files
-    println!("\nran {cycles} cycles; statistics:");
+    println!("\nran {} cycles; statistics:", run.steps_completed);
     let rep = sim.report();
     for (key, v) in &rep.counters {
         println!("  {key} = {v}");

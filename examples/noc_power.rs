@@ -52,7 +52,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let obs = (ri == rates.len() - 1)
             .then(|| opts.install(&mut sim))
             .transpose()?;
-        sim.run(3000)?;
+        let run = opts.run(&mut sim, 3000)?;
+        if run.stopped_early() {
+            println!("sweep stopped early ({})", run.outcome.label());
+            if let Some(obs) = obs {
+                drop(sim.take_probe());
+                obs.finish(&sim)?;
+            }
+            return Ok(());
+        }
         let delivered = sim.stats().counter_total("received");
         let lat = sim
             .stats()

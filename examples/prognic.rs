@@ -73,8 +73,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let obs = opts.install(&mut sim)?;
     let n = payloads.len() as u64;
     let dev = nic.dev;
-    let cycles = sim.run_until(60_000, |st| st.counter(dev, "dmas_completed") >= n)?;
+    let run = opts.run_until(&mut sim, 60_000, |st| {
+        st.counter(dev, "dmas_completed") >= n
+    })?;
     drop(sim.take_probe()); // flush --vcd / --jsonl files
+    if run.stopped_early() {
+        println!(
+            "run stopped early ({}); skipping checks",
+            run.outcome.label()
+        );
+        obs.finish(&sim)?;
+        return Ok(());
+    }
+    let cycles = run.steps_completed;
 
     println!("programmable NIC serviced {n} frames in {cycles} cycles\n");
     println!(

@@ -48,9 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.leaf_instances, report.edges
     );
 
-    // 3. Run it (with any requested probes watching).
+    // 3. Run it (with any requested probes watching, under run
+    //    governance: Ctrl-C / --max-steps / --deadline stop the run
+    //    cleanly with a report instead of killing the process).
     let obs = opts.install(&mut sim)?;
-    sim.run(40)?;
+    let run = opts.run(&mut sim, 40)?;
 
     // 4. Read the statistics the components published.
     let a = sim.instance_by_name("a").expect("instance a");
@@ -69,9 +71,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|s| s.max)
             .unwrap_or(0.0),
     );
-    assert_eq!(sim.stats().counter(a, "received"), 12);
-    assert_eq!(sim.stats().counter(b, "received"), 12);
-    println!("ok: both consumers saw the full stream");
+    if run.stopped_early() {
+        println!(
+            "run stopped early ({}); skipping checks",
+            run.outcome.label()
+        );
+    } else {
+        assert_eq!(sim.stats().counter(a, "received"), 12);
+        assert_eq!(sim.stats().counter(b, "received"), 12);
+        println!("ok: both consumers saw the full stream");
+    }
     drop(sim.take_probe()); // flush --vcd / --jsonl files
     obs.finish(&sim)?;
     Ok(())

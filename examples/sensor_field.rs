@@ -24,10 +24,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = net.base.expect("base station");
     println!("{nodes} sensor nodes, one shared wireless channel, base at station 0\n");
     let obs = opts.install(&mut sim)?;
-    let cycles = sim.run_until(500_000, |st| {
+    let run = opts.run_until(&mut sim, 500_000, |st| {
         st.counter(base, "received") >= u64::from(nodes)
     })?;
+    let cycles = run.steps_completed;
     drop(sim.take_probe()); // flush --vcd / --jsonl files
+    if run.stopped_early() {
+        println!(
+            "run stopped early ({}); partial statistics follow",
+            run.outcome.label()
+        );
+    }
     println!(
         "base received {}/{} reduced samples in {cycles} cycles",
         sim.stats().counter(base, "received"),
