@@ -26,7 +26,8 @@
 //! compare on a shared machine.
 
 use liberty_bench::kernel::{
-    run_workload_governed, run_workload_probed, KernelRun, ProbeMode, MEASURED_SCHEDS, WORKLOADS,
+    run_workload_governed, run_workload_probed, run_workload_specialized, KernelRun, ProbeMode,
+    MEASURED_SCHEDS, WORKLOADS, W_PCL,
 };
 use liberty_bench::table;
 use liberty_core::prelude::SchedKind;
@@ -201,6 +202,33 @@ fn main() {
         )
     );
 
+    // --- Handler specialization: serial compiled plan, kernels on/off ---
+    let spec_best = |on: bool| {
+        (0..best.max(1))
+            .map(|_| run_workload_specialized(W_PCL, cycles, on))
+            .min_by(|a, b| a.secs.total_cmp(&b.secs))
+            .expect("best >= 1")
+    };
+    let (spec_on, spec_off) = (spec_best(true), spec_best(false));
+    let spec_margin = spec_on.steps_per_sec() / spec_off.steps_per_sec();
+    println!(
+        "{}",
+        table(
+            &[
+                "workload (Compiled)",
+                "dynamic steps/s",
+                "specialized steps/s",
+                "speedup",
+            ],
+            &[vec![
+                W_PCL.to_string(),
+                format!("{:.0}", spec_off.steps_per_sec()),
+                format!("{:.0}", spec_on.steps_per_sec()),
+                format!("{spec_margin:.2}x"),
+            ]]
+        )
+    );
+
     // --- Baseline guard (supervisor off: the default run path) ---
     if let Some(path) = write_baseline {
         let mut f = std::fs::File::create(resolve(&path)).expect("create baseline file");
@@ -212,6 +240,13 @@ fn main() {
         for r in &off_runs {
             writeln!(f, "{}\t{:.0}", baseline_key(r), r.steps_per_sec()).unwrap();
         }
+        writeln!(
+            f,
+            "{W_PCL}\tCompiled[specialized]\t{:.0}",
+            spec_on.steps_per_sec()
+        )
+        .unwrap();
+        writeln!(f, "{W_PCL}\tspecialized/dynamic\t{spec_margin:.2}").unwrap();
         println!("baseline written to {path}");
     }
     if let Some(path) = baseline {
@@ -240,6 +275,35 @@ fn main() {
                 "ok"
             };
             println!("baseline: {key}  {base:.0} -> {now:.0} steps/s ({delta:+.1}%) {verdict}");
+        }
+        // Specialized-path guards: absolute throughput floor, plus the
+        // margin over the dynamic compiled plan (catches a silent
+        // universal fallback, which would pass the absolute floor).
+        if let Some(&base) = recorded.get(&format!("{W_PCL}\tCompiled[specialized]")) {
+            let now = spec_on.steps_per_sec();
+            let delta = 100.0 * (now - base) / base;
+            let verdict = if delta < -tolerance {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "baseline: {W_PCL}\tCompiled[specialized]  {base:.0} -> {now:.0} steps/s \
+                 ({delta:+.1}%) {verdict}"
+            );
+        }
+        if let Some(&base) = recorded.get(&format!("{W_PCL}\tspecialized/dynamic")) {
+            let verdict = if spec_margin < base {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "baseline: {W_PCL}\tspecialized/dynamic  required {base:.2}x, \
+                 measured {spec_margin:.2}x {verdict}"
+            );
         }
         if failed {
             eprintln!(

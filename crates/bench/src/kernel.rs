@@ -33,11 +33,17 @@ pub const WORKLOADS: &[&str] = &[
     W_SCATTER,
     W_FANOUT,
     W_CHAIN,
+    W_PCL,
 ];
 
 const W_SCATTER: &str = "scatter 256 (acyclic)";
 const W_FANOUT: &str = "fanout 16x2 (acyclic)";
 const W_CHAIN: &str = "chain 256 (acyclic)";
+
+/// The module-dominated specialization workload (E19): every instance is
+/// a stock `pcl` template, so under the serial compiled scheduler the
+/// whole netlist lowers to type-specialized kernels.
+pub const W_PCL: &str = "pcl pipeline 48 (specializable)";
 
 /// The acyclic subset of [`WORKLOADS`] (the E18 speedup bar applies to
 /// these).
@@ -303,6 +309,60 @@ fn chain_rev(stages: usize, sched: SchedKind) -> Simulator {
     Simulator::new(b.build().unwrap(), sched)
 }
 
+/// The E19 microbenchmark: a backpressured queue/register pipeline, a
+/// tee-fed inverter/delay side channel, and a repeating-tuple ALU stream
+/// — the E11 "core" shape where handler bodies (not scheduling) dominate
+/// each step. Every template is a specializable `pcl` module; the tee and
+/// ALU ack-feedback SCCs become specialized fixed-point islands.
+fn pcl_pipeline(stages: usize, sched: SchedKind) -> Simulator {
+    use liberty_pcl::{alu, delay, inverter, queue, register, sink, source, tee};
+    let mut b = NetlistBuilder::new();
+    let p = Params::new;
+    // Word pipeline: seq -> tee -> (queue -> register)* -> sink.
+    let (s_spec, s_mod) = source::seq(&p().with("start", 1i64)).unwrap();
+    let gen = b.add("gen", s_spec, s_mod).unwrap();
+    let (t_spec, t_mod) = tee::tee(&p()).unwrap();
+    let t = b.add("tee", t_spec, t_mod).unwrap();
+    b.connect(gen, "out", t, "in").unwrap();
+    let mut prev = t;
+    let mut prev_port = "out";
+    for i in 0..stages {
+        let (q_spec, q_mod) = queue::queue(&p().with("depth", 2i64)).unwrap();
+        let q = b.add(format!("q{i}"), q_spec, q_mod).unwrap();
+        b.connect(prev, prev_port, q, "in").unwrap();
+        let (r_spec, r_mod) = register::reg(&p()).unwrap();
+        let r = b.add(format!("r{i}"), r_spec, r_mod).unwrap();
+        b.connect(q, "out", r, "in").unwrap();
+        (prev, prev_port) = (r, "out");
+    }
+    let (k_spec, k_mod) = sink::counting(&p()).unwrap();
+    let k0 = b.add("k0", k_spec, k_mod).unwrap();
+    b.connect(prev, prev_port, k0, "in").unwrap();
+    // Side channel: tee -> inverter -> delay -> sink.
+    let (i_spec, i_mod) = inverter::inverter(&p()).unwrap();
+    let inv = b.add("inv", i_spec, i_mod).unwrap();
+    b.connect(t, "out", inv, "in").unwrap();
+    let (d_spec, d_mod) = delay::delay(&p().with("latency", 2i64)).unwrap();
+    let d = b.add("dly", d_spec, d_mod).unwrap();
+    b.connect(inv, "out", d, "in").unwrap();
+    let (k_spec, k_mod) = sink::counting(&p()).unwrap();
+    let k1 = b.add("k1", k_spec, k_mod).unwrap();
+    b.connect(d, "out", k1, "in").unwrap();
+    // Tuple stream: repeating (op, a, b) -> alu -> queue -> sink.
+    let (a_src_spec, a_src_mod) = source::repeating(alu::op_value(0, 40, 2));
+    let asrc = b.add("ops", a_src_spec, a_src_mod).unwrap();
+    let (a_spec, a_mod) = alu::alu(&p()).unwrap();
+    let a = b.add("alu", a_spec, a_mod).unwrap();
+    b.connect(asrc, "out", a, "in").unwrap();
+    let (q_spec, q_mod) = queue::queue(&p().with("depth", 4i64)).unwrap();
+    let aq = b.add("aq", q_spec, q_mod).unwrap();
+    b.connect(a, "out", aq, "in").unwrap();
+    let (k_spec, k_mod) = sink::counting(&p()).unwrap();
+    let k2 = b.add("k2", k_spec, k_mod).unwrap();
+    b.connect(aq, "out", k2, "in").unwrap();
+    Simulator::new(b.build().unwrap(), sched)
+}
+
 /// Build the named workload (panics on an unknown name).
 pub fn build(workload: &str, sched: SchedKind) -> Simulator {
     match workload {
@@ -312,7 +372,23 @@ pub fn build(workload: &str, sched: SchedKind) -> Simulator {
         w if w == W_SCATTER => scatter(256, sched),
         w if w == W_FANOUT => fanout_tree(16, 2, sched),
         w if w == W_CHAIN => chain_rev(256, sched),
+        w if w == W_PCL => pcl_pipeline(20, sched),
         other => panic!("unknown kernel workload {other:?}"),
+    }
+}
+
+/// Run the serial compiled scheduler on a workload with handler
+/// specialization forced on or off — the E19 numerator and denominator.
+pub fn run_workload_specialized(workload: &'static str, cycles: u64, on: bool) -> KernelRun {
+    let mut sim = build(workload, SchedKind::Compiled);
+    sim.set_specialization(on);
+    sim.run(cycles / 10).unwrap();
+    let (_, secs) = timed(|| sim.run(cycles).unwrap());
+    KernelRun {
+        workload,
+        sched: SchedKind::Compiled,
+        cycles,
+        secs,
     }
 }
 

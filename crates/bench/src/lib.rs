@@ -2,6 +2,7 @@
 
 #![warn(missing_docs)]
 
+pub mod handler;
 pub mod kernel;
 
 use std::time::Instant;

@@ -1,0 +1,263 @@
+//! Specialization-equivalence suite: type-specialized handler kernels
+//! must be *observationally indistinguishable* from the dynamic handler
+//! bodies they replace (docs/KERNEL.md §7).
+//!
+//! The oracle mirrors the scheduler-equivalence suite, pointed at the
+//! specialization toggle instead of the scheduler axis:
+//!
+//! 1. **Engagement** — the classifier must actually specialize the
+//!    specializable systems (a silent universal fallback would make every
+//!    other test here vacuous).
+//! 2. **Final architectural state** — identical [`StatsReport`], per-edge
+//!    transfer counts, engine metrics, and snapshot bytes with
+//!    specialization on vs off, for every spec in `specs/` and the
+//!    module-dominated E19 workload.
+//! 3. **Canonical probe streams** — attaching a probe mid-run writes
+//!    kernel state back losslessly; the stream suffix and final state
+//!    must match a run that never specialized.
+//! 4. **Checkpoint compatibility** — snapshots taken with specialization
+//!    on restore into simulators running with it off (and vice versa)
+//!    and resume byte-identically.
+//! 5. **Fault plans force fallback, not wrong answers** — random
+//!    (seed, rate) draws yield one canonical stream and one verdict
+//!    whether or not specialization was requested.
+
+use liberty_bench::kernel::{build, W_PCL};
+use liberty_core::prelude::*;
+use liberty_lss::build_simulator;
+use liberty_systems::full_registry;
+use proptest::prelude::*;
+use std::io::Write;
+
+const CYCLES: u64 = 32;
+
+/// Shared byte buffer implementing `Write` for in-memory JSONL capture.
+#[derive(Clone, Default)]
+struct Buf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+impl Write for Buf {
+    fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(b);
+        Ok(b.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+impl Buf {
+    fn take(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+/// Every runnable spec in `specs/` (ring_osc diverges by design and is
+/// exercised separately), plus the module-dominated E19 workload.
+fn targets() -> Vec<String> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
+    let mut t: Vec<String> = std::fs::read_dir(dir)
+        .expect("specs/ readable")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            let name = p.file_name()?.to_str()?.to_owned();
+            (p.extension()?.to_str()? == "lss" && name != "ring_osc.lss")
+                .then(|| format!("specs/{name}"))
+        })
+        .collect();
+    t.sort();
+    assert!(t.len() >= 3, "specs/ corpus shrank: {t:?}");
+    t.push(W_PCL.to_owned());
+    t
+}
+
+fn build_target(name: &str) -> Simulator {
+    if name == W_PCL {
+        build(W_PCL, SchedKind::Compiled)
+    } else {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(name);
+        let src = std::fs::read_to_string(&path).expect("spec readable");
+        let registry = full_registry();
+        build_simulator(&src, &registry, "main", &Params::new(), SchedKind::Compiled)
+            .expect("spec elaborates")
+            .0
+    }
+}
+
+/// Final-state fingerprint of a finished run.
+fn fingerprint(sim: &mut Simulator) -> (StatsReport, Vec<u64>, u64, u64, u64, Option<Vec<u8>>) {
+    let m = sim.metrics();
+    let snap = sim.snapshot().ok().map(|s| s.to_bytes());
+    (
+        sim.report(),
+        sim.transfer_counts().to_vec(),
+        m.reacts,
+        m.commits,
+        m.defaults,
+        snap,
+    )
+}
+
+#[test]
+fn specializable_systems_actually_specialize() {
+    // W_PCL is built from stock pcl templates only: everything lowers.
+    let sim = build_target(W_PCL);
+    let s = sim.plan_summary().expect("compiled plan");
+    assert!(s.enabled, "specialization off by default?\n{s}");
+    assert_eq!(s.dynamic, 0, "dynamic stragglers in W_PCL:\n{s}");
+    assert_eq!(s.fast_edges, s.total_edges, "slow edges in W_PCL:\n{s}");
+    // The shipped pipeline spec lowers completely too.
+    let sim = build_target("specs/pipeline.lss");
+    let s = sim.plan_summary().expect("compiled plan");
+    assert_eq!(s.dynamic, 0, "dynamic stragglers in pipeline.lss:\n{s}");
+    // Dynamic instances carry a reason; specialized ones must not.
+    for name in targets() {
+        for row in &build_target(&name).plan_summary().expect("plan").instances {
+            assert_eq!(row.reason.is_some(), !row.specialized, "{name}/{}", row.name);
+        }
+    }
+}
+
+#[test]
+fn specialization_toggle_is_observationally_invisible() {
+    for name in targets() {
+        let mut on = build_target(&name);
+        assert!(
+            on.plan_summary().expect("compiled plan").specialized > 0,
+            "{name}: nothing specialized — toggle test is vacuous"
+        );
+        on.run(CYCLES).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut off = build_target(&name);
+        off.set_specialization(false);
+        off.run(CYCLES).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (fp_on, fp_off) = (fingerprint(&mut on), fingerprint(&mut off));
+        assert_eq!(fp_on.0, fp_off.0, "{name}: stats report");
+        assert_eq!(fp_on.1, fp_off.1, "{name}: transfer counts");
+        assert_eq!(fp_on.2, fp_off.2, "{name}: reacts");
+        assert_eq!(fp_on.3, fp_off.3, "{name}: commits");
+        assert_eq!(fp_on.4, fp_off.4, "{name}: defaults");
+        assert_eq!(fp_on.5, fp_off.5, "{name}: snapshot bytes");
+    }
+}
+
+#[test]
+fn midrun_probe_attach_despecializes_losslessly() {
+    for name in targets() {
+        let run_split = |specialize: bool| {
+            let mut sim = build_target(&name);
+            sim.set_specialization(specialize);
+            sim.run(CYCLES / 2).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let buf = Buf::default();
+            sim.set_probe(Box::new(JsonlProbe::new(buf.clone()).canonical()));
+            sim.run(CYCLES / 2).unwrap_or_else(|e| panic!("{name}: {e}"));
+            drop(sim.take_probe()); // flush
+            (buf.take(), fingerprint(&mut sim))
+        };
+        let (stream_on, fp_on) = run_split(true);
+        let (stream_off, fp_off) = run_split(false);
+        assert!(!stream_on.is_empty(), "{name}: empty canonical stream");
+        assert_eq!(stream_on, stream_off, "{name}: canonical stream suffix");
+        assert_eq!(fp_on, fp_off, "{name}: final state");
+    }
+}
+
+#[test]
+fn checkpoints_are_compatible_across_specialization() {
+    for name in targets() {
+        // Straight-through reference, never specialized.
+        let mut reference = build_target(&name);
+        reference.set_specialization(false);
+        reference.run(CYCLES).unwrap();
+        let Some(ref_bytes) = fingerprint(&mut reference).5 else {
+            continue; // system refuses to snapshot: nothing to roundtrip
+        };
+        // Specialized first leg -> snapshot -> dynamic second leg...
+        let mut a = build_target(&name);
+        a.run(CYCLES / 2).unwrap();
+        let snap_a = a.snapshot().expect("snapshot");
+        let mut a2 = build_target(&name);
+        a2.set_specialization(false);
+        a2.restore(&snap_a).expect("restore");
+        a2.run(CYCLES - CYCLES / 2).unwrap();
+        // ...and dynamic first leg -> snapshot -> specialized second leg.
+        let mut b = build_target(&name);
+        b.set_specialization(false);
+        b.run(CYCLES / 2).unwrap();
+        let snap_b = b.snapshot().expect("snapshot");
+        assert_eq!(
+            snap_a.to_bytes(),
+            snap_b.to_bytes(),
+            "{name}: midpoint snapshots differ across specialization"
+        );
+        let mut b2 = build_target(&name);
+        b2.restore(&snap_b).expect("restore");
+        b2.run(CYCLES - CYCLES / 2).unwrap();
+        for (leg, sim) in [("spec->dyn", &mut a2), ("dyn->spec", &mut b2)] {
+            let bytes = fingerprint(sim).5.expect("snapshot");
+            assert_eq!(bytes, ref_bytes, "{name} {leg}: final snapshot");
+        }
+    }
+}
+
+/// One observed run with the probe attached from step 0 (which suppresses
+/// specialization; `requested` records what the host asked for).
+fn observed_run(
+    name: &str,
+    requested: bool,
+    faults: (u64, f64),
+) -> (String, Result<(), String>, StatsReport, Vec<u64>) {
+    let mut sim = build_target(name);
+    sim.set_specialization(requested);
+    let buf = Buf::default();
+    sim.set_probe(Box::new(JsonlProbe::new(buf.clone()).canonical()));
+    let (seed, rate) = faults;
+    let topo = sim.topology().clone();
+    sim.set_fault_plan(FaultPlan::random(seed, &topo, CYCLES, rate));
+    sim.set_failure_policy(FailurePolicy::Quarantine);
+    sim.set_watchdog(1_000_000);
+    let verdict = sim.run(CYCLES).map_err(|e| e.to_string());
+    drop(sim.take_probe());
+    let transfers = sim.transfer_counts().to_vec();
+    (buf.take(), verdict, sim.report(), transfers)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Fault plans force the dynamic fallback, never a wrong answer:
+    /// requesting specialization changes nothing observable under any
+    /// random fault plan.
+    #[test]
+    fn fault_plans_force_fallback_not_wrong_answers(
+        seed in any::<u64>(),
+        rate in 0.05f64..0.45,
+        tgt in 0usize..4,
+    ) {
+        let names = targets();
+        let name = &names[tgt % names.len()];
+        let (s1, v1, r1, t1) = observed_run(name, true, (seed, rate));
+        let (s0, v0, r0, t0) = observed_run(name, false, (seed, rate));
+        prop_assert_eq!(&v1, &v0, "{}: verdict", name);
+        prop_assert_eq!(&s1, &s0, "{}: canonical stream", name);
+        prop_assert_eq!(&r1, &r0, "{}: final stats", name);
+        prop_assert_eq!(&t1, &t0, "{}: transfer counts", name);
+    }
+}
+
+#[test]
+fn ring_osc_divergence_is_specialization_independent() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs/ring_osc.lss");
+    let src = std::fs::read_to_string(path).expect("ring_osc.lss readable");
+    let registry = full_registry();
+    let diverge = |specialize: bool| {
+        let (mut sim, _) =
+            build_simulator(&src, &registry, "main", &Params::new(), SchedKind::Compiled)
+                .expect("spec elaborates");
+        sim.set_specialization(specialize);
+        sim.set_watchdog(512);
+        sim.run(4).unwrap_err().to_string()
+    };
+    // The watchdog despecializes (fixed-point divergence diagnostics need
+    // the dynamic engine), so both runs must report the exact same
+    // structured divergence.
+    assert_eq!(diverge(true), diverge(false));
+}

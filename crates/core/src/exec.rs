@@ -36,6 +36,7 @@
 use crate::compile::{CompiledPlan, PlanNode};
 use crate::error::{CheckpointError, DivergenceInfo, OscillatingWire, PanicInfo, SimError};
 use crate::fault::{apply_fault, wire_idx, ActiveFaults, CompiledFaults, FailurePolicy, FaultPlan};
+use crate::kernel::{self, Kernel, Lane, PlanSummary, SpecState};
 use crate::module::{Dir, Module, PortId};
 use crate::netlist::{EdgeId, InstanceId, Netlist};
 use crate::pool::WorkerPool;
@@ -234,6 +235,14 @@ pub struct Simulator {
     /// The compiled invocation plan (compiled schedulers only; shared
     /// via the topology's cache).
     plan: Option<Arc<CompiledPlan>>,
+    /// Specialized-kernel state for `SchedKind::Compiled`: the
+    /// classification, the unboxed lane table, and (while live) the
+    /// materialized kernels. `None` when nothing classified as eligible,
+    /// so fully dynamic plans pay nothing.
+    spec: Option<Box<SpecState>>,
+    /// Master switch for handler specialization (default on); see
+    /// [`Simulator::set_specialization`].
+    spec_enabled: bool,
     /// Requested parallelism for [`SchedKind::CompiledParallel`],
     /// including the caller's thread; `0` = auto-detect.
     threads: usize,
@@ -284,6 +293,13 @@ impl Simulator {
             SchedKind::Compiled | SchedKind::CompiledParallel => Some(topo.plan().clone()),
             _ => None,
         };
+        // Handler specialization is a serial-compiled execution detail:
+        // classify once at construction, against the same plan the
+        // scheduler runs.
+        let spec = match (&plan, sched) {
+            (Some(p), SchedKind::Compiled) => SpecState::build(&topo, p, &modules),
+            _ => None,
+        };
         Simulator {
             store: SignalStore::new(n_edges),
             modules,
@@ -300,10 +316,61 @@ impl Simulator {
             ckpt: None,
             sup: None,
             plan,
+            spec,
+            spec_enabled: true,
             threads: 0,
             pool: None,
             par_bufs: Vec::new(),
             topo,
+        }
+    }
+
+    /// Enable or disable handler specialization (default: enabled).
+    /// Turning it off mid-run writes any live kernel state back into the
+    /// modules first, so the switch is observationally invisible.
+    pub fn set_specialization(&mut self, on: bool) {
+        if !on {
+            self.despecialize();
+        }
+        self.spec_enabled = on;
+    }
+
+    /// Which instances of the compiled plan run as type-specialized
+    /// kernels, and why the rest stay dynamic. `None` for the
+    /// non-compiled schedulers (specialization never applies to them).
+    /// This re-renders the construction-time classification; the
+    /// `enabled` flag additionally reflects [`Simulator::set_specialization`]
+    /// and any probe/fault installation that suppressed the fast path.
+    pub fn plan_summary(&self) -> Option<PlanSummary> {
+        let plan = self.plan.as_ref()?;
+        if self.sched != SchedKind::Compiled {
+            return None;
+        }
+        let classification = kernel::classify(&self.topo, plan, &self.modules);
+        let enabled =
+            self.spec_enabled && self.probe.is_none() && self.resil.is_none();
+        Some(classification.summary(&self.topo, enabled))
+    }
+
+    /// True when the next step will run (or keep running) the specialized
+    /// reaction/commit path.
+    fn spec_active(&self) -> bool {
+        self.spec_enabled
+            && self.sched == SchedKind::Compiled
+            && self.probe.is_none()
+            && self.resil.is_none()
+            && self.spec.as_ref().is_some_and(|s| s.live)
+    }
+
+    /// Write live kernel state back into the modules and drop the
+    /// kernels. Called whenever observation machinery (probes, faults,
+    /// watchdogs) attaches, and by [`Simulator::set_specialization`]; the
+    /// write-back is lossless by construction, so a failure here is a
+    /// kernel bug, not a user error.
+    fn despecialize(&mut self) {
+        if let Some(spec) = self.spec.as_deref_mut() {
+            spec.sync_back(&mut self.modules)
+                .expect("kernel state write-back cannot fail for lowered templates");
         }
     }
 
@@ -328,6 +395,7 @@ impl Simulator {
     /// [`Simulator::set_failure_policy`] to survive the induced handler
     /// failures and with [`Simulator::set_watchdog`] to bound divergence.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.despecialize();
         let n = self.topo.instance_count();
         self.resil_mut().plan = Some(plan.compile(n));
     }
@@ -338,6 +406,7 @@ impl Simulator {
     /// handlers, so even `Abort` turns a raw panic into a structured
     /// [`SimError::Panic`].
     pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
+        self.despecialize();
         self.resil_mut().policy = policy;
     }
 
@@ -349,6 +418,7 @@ impl Simulator {
     /// then fails with [`SimError::Divergence`] naming the oscillating
     /// wires.
     pub fn set_watchdog(&mut self, max_iters: u64) {
+        self.despecialize();
         self.resil_mut().max_iters = Some(max_iters.max(1));
     }
 
@@ -677,9 +747,22 @@ impl Simulator {
     /// are *not* captured — every wire re-resolves from `Unknown` each
     /// step, so at a boundary the store is semantically empty.
     pub fn snapshot(&self) -> Result<Snapshot, SimError> {
+        // While kernels are live they — not the modules — hold the real
+        // state of specialized instances; their blobs are byte-identical
+        // to what `state_save` would produce after a write-back.
+        let live_kernels = self
+            .spec
+            .as_deref()
+            .filter(|s| s.live)
+            .map(|s| s.kernels.as_slice());
         let mut modules = Vec::with_capacity(self.modules.len());
         for (i, m) in self.modules.iter().enumerate() {
-            let blob = m.state_save().map_err(|e| {
+            let kernel = live_kernels.and_then(|ks| ks[i].as_ref());
+            let blob = match kernel {
+                Some(k) => k.state_blob(),
+                None => m.state_save(),
+            }
+            .map_err(|e| {
                 SimError::model(format!(
                     "state_save of instance {:?}: {e}",
                     self.topo.name(InstanceId(i as u32))
@@ -726,6 +809,13 @@ impl Simulator {
                  ({n} instances, {n_edges} edges)",
                 snap.n_instances, snap.n_edges
             ))));
+        }
+        // Restored state lands in the modules; drop any live kernels so
+        // the next specialized step re-materializes from the modules (and
+        // re-binds statistics slots against the replaced `Stats` arena).
+        if let Some(spec) = self.spec.as_deref_mut() {
+            spec.kernels.clear();
+            spec.live = false;
         }
         for (i, m) in self.modules.iter_mut().enumerate() {
             m.state_restore(&snap.modules[i]).map_err(|e| {
@@ -975,6 +1065,9 @@ impl Simulator {
     /// [`Probe::attach`] hook runs immediately (VCD sinks emit their
     /// header there); any previously attached probe is replaced.
     pub fn set_probe(&mut self, mut p: Box<dyn Probe>) {
+        // Probes observe per-instance react/commit events the specialized
+        // path does not emit: fall back to the dynamic handlers.
+        self.despecialize();
         p.attach(&self.topo);
         self.probe = Some(p);
     }
@@ -1130,6 +1223,8 @@ impl Simulator {
         if resilient {
             self.commit_phase::<true>()?;
             self.flush_quarantine_events();
+        } else if self.spec_active() {
+            self.commit_phase_spec()?;
         } else {
             self.commit_phase::<false>()?;
         }
@@ -1374,6 +1469,27 @@ impl Simulator {
         {
             return self.reaction_compiled_parallel();
         }
+        // Serial compiled path with specialization: lazily lower module
+        // state into kernels on the first unobserved step, then run the
+        // two-tier plan. A materialization failure permanently falls back
+        // to the dynamic path — never a wrong answer.
+        if self.sched == SchedKind::Compiled
+            && self.spec_enabled
+            && self.probe.is_none()
+            && self.resil.is_none()
+            && self.spec.is_some()
+        {
+            if !self.spec.as_deref().is_some_and(|s| s.live) {
+                let mut spec = self.spec.take().expect("checked above");
+                match spec.materialize(&self.topo, &self.modules) {
+                    Ok(()) => self.spec = Some(spec),
+                    Err(_) => self.spec = None,
+                }
+            }
+            if self.spec.as_deref().is_some_and(|s| s.live) {
+                return self.reaction_compiled_specialized();
+            }
+        }
         let mut work = std::mem::take(&mut self.work);
         let r = match (self.probe.is_some(), self.resil.is_some()) {
             (false, false) => self.compiled_serial::<false, false>(&mut work),
@@ -1460,6 +1576,117 @@ impl Simulator {
                             topo, modules, store, stats, metrics, *now, &plan, *island, members,
                             work, &mut newly, probe, resil,
                         )?;
+                    }
+                }
+            }
+            Ok(())
+        })();
+        self.wake_buf = newly;
+        result
+    }
+
+    /// Specialized serial compiled reaction: eligible instances run as
+    /// monomorphized kernels over unboxed lanes, the rest through the
+    /// regular dynamic `react` machinery, interleaved in plan order.
+    fn reaction_compiled_specialized(&mut self) -> Result<(), SimError> {
+        let plan = self
+            .plan
+            .clone()
+            .expect("compiled scheduler without a plan");
+        let mut spec = self
+            .spec
+            .take()
+            .expect("specialized reaction without kernel state");
+        let mut work = std::mem::take(&mut self.work);
+        let r = self.compiled_serial_spec(&plan, &mut spec, &mut work);
+        if r.is_err() {
+            work.fifo.clear();
+            work.queued.fill(false);
+        }
+        self.work = work;
+        self.spec = Some(spec);
+        r
+    }
+
+    /// The two-tier plan walk: straight nodes dispatch to a kernel when
+    /// one exists (no vtable, no `Value` boxing, no store round-trip),
+    /// otherwise to `react_straight`; islands run entirely specialized or
+    /// entirely dynamic (the classifier enforces all-or-none membership).
+    fn compiled_serial_spec(
+        &mut self,
+        plan: &CompiledPlan,
+        spec: &mut SpecState,
+        work: &mut WorkState,
+    ) -> Result<(), SimError> {
+        let Simulator {
+            topo,
+            modules,
+            store,
+            stats,
+            now,
+            metrics,
+            wake_buf,
+            probe,
+            resil,
+            ..
+        } = self;
+        let topo: &Topology = topo;
+        let SpecState {
+            plan: splan,
+            kernels,
+            lanes,
+            ..
+        } = spec;
+        for l in lanes.iter_mut() {
+            l.reset();
+        }
+        // Fast lanes bypass the store entirely; credit their wires
+        // wholesale so the store's full-resolution accounting (the default
+        // phase's early-out) stays exact.
+        store.credit_fast_resolved(3 * lanes.len() as u64);
+        metrics.reacts += plan.straight_count() as u64;
+        debug_assert!(probe.is_none() && resil.is_none());
+        let mut dyn_probe: Option<&mut (dyn Probe + 'static)> = None;
+        let mut newly = std::mem::take(wake_buf);
+        let result = (|| {
+            for node in plan.nodes() {
+                match node {
+                    &PlanNode::Straight(i) => {
+                        let i = i as usize;
+                        match kernels[i].as_ref() {
+                            Some(k) => {
+                                let mut io = kernel::Io {
+                                    lanes: lanes.as_mut_slice(),
+                                    store,
+                                    newly: None,
+                                    now: *now,
+                                };
+                                k.react(&mut io)?;
+                            }
+                            None => react_straight(topo, modules, store, stats, *now, i)?,
+                        }
+                    }
+                    PlanNode::Island { island, members } => {
+                        if splan.spec_islands[*island as usize] {
+                            drain_island_spec(
+                                topo,
+                                kernels,
+                                lanes.as_mut_slice(),
+                                store,
+                                metrics,
+                                *now,
+                                plan,
+                                *island,
+                                members,
+                                work,
+                                &mut newly,
+                            )?;
+                        } else {
+                            drain_island::<false, false>(
+                                topo, modules, store, stats, metrics, *now, plan, *island,
+                                members, work, &mut newly, &mut dyn_probe, resil,
+                            )?;
+                        }
                     }
                 }
             }
@@ -1595,8 +1822,15 @@ impl Simulator {
         let mut cursor = 0usize;
         loop {
             // Advance past fully resolved edges; resolution is monotone so
-            // the cursor never needs to move backwards.
-            while cursor < n_edges && self.store.is_fully_resolved(EdgeId(cursor as u32)) {
+            // the cursor never needs to move backwards. Fast lanes are
+            // skipped outright: kernels resolve them exhaustively during
+            // the reaction phase (the classifier only admits shapes whose
+            // handlers drive every wire), so the store's unresolved view
+            // of those edges is a bypass artifact, not missing work.
+            while cursor < n_edges
+                && (self.store.is_fully_resolved(EdgeId(cursor as u32))
+                    || self.fast_edge(cursor))
+            {
                 cursor += 1;
             }
             if cursor >= n_edges {
@@ -1631,6 +1865,124 @@ impl Simulator {
                 self.resume(&[seed])?;
             }
         }
+    }
+
+    /// True when edge `e` is shadowed by a live kernel lane this step (so
+    /// the default phase must not try to resolve it through the store).
+    #[inline]
+    fn fast_edge(&self, e: usize) -> bool {
+        self.spec
+            .as_deref()
+            .is_some_and(|s| s.live && s.plan.lane_of[e] != kernel::NO_LANE)
+    }
+
+    /// Specialized commit phase: completed fast-lane handshakes are folded
+    /// into the same activity marks and per-edge transfer counts the store
+    /// walk produces, then each instance commits through its kernel (or
+    /// its dynamic handler), in the same instance-id order with the same
+    /// gating rules as [`Simulator::commit_phase`].
+    fn commit_phase_spec(&mut self) -> Result<(), SimError> {
+        let mut spec = self
+            .spec
+            .take()
+            .expect("specialized commit without kernel state");
+        let r = self.commit_phase_spec_inner(&mut spec);
+        self.spec = Some(spec);
+        r
+    }
+
+    fn commit_phase_spec_inner(&mut self, spec: &mut SpecState) -> Result<(), SimError> {
+        let Simulator {
+            topo,
+            modules,
+            store,
+            stats,
+            now,
+            metrics,
+            active,
+            transfer_counts,
+            ..
+        } = self;
+        let topo: &Topology = topo;
+        let SpecState { kernels, lanes, .. } = spec;
+        let gated = topo.any_commit_gated();
+        for lane in lanes.iter_mut() {
+            debug_assert!(
+                lane.fully_resolved(),
+                "kernel left a fast lane unresolved (edge {})",
+                lane.edge.0
+            );
+            if lane.completes() {
+                lane.transferred = true;
+                transfer_counts[lane.edge.0 as usize] += 1;
+                if gated {
+                    let em = topo.edge_meta(lane.edge);
+                    active[em.src.inst.0 as usize] = true;
+                    active[em.dst.inst.0 as usize] = true;
+                }
+            }
+        }
+        for &e in store.transfers() {
+            transfer_counts[e.0 as usize] += 1;
+            if gated {
+                let em = topo.edge_meta(e);
+                active[em.src.inst.0 as usize] = true;
+                active[em.dst.inst.0 as usize] = true;
+            }
+        }
+        let result = (|| {
+            if topo.all_commit_noop() {
+                return Ok(());
+            }
+            for i in 0..modules.len() {
+                if topo.commit_noop(i) {
+                    continue;
+                }
+                match kernels[i].as_mut() {
+                    Some(k) => {
+                        if topo.commit_gated(i) && !active[i] && !k.pending() {
+                            continue;
+                        }
+                        metrics.commits += 1;
+                        k.commit(lanes, store, stats, *now);
+                    }
+                    None => {
+                        let module = &mut modules[i];
+                        if topo.commit_gated(i) && !active[i] && !module.pending() {
+                            continue;
+                        }
+                        metrics.commits += 1;
+                        let inst = InstanceId(i as u32);
+                        let mut ctx = CommitCtx {
+                            inst,
+                            info: topo.instance(inst),
+                            store,
+                            stats,
+                            now: *now,
+                        };
+                        module.commit(&mut ctx)?;
+                    }
+                }
+            }
+            Ok(())
+        })();
+        // Clear activity marks by re-walking both transfer sources; runs
+        // even on the error path so a failed step cannot poison the next.
+        if gated {
+            for lane in lanes.iter() {
+                if lane.transferred {
+                    let em = topo.edge_meta(lane.edge);
+                    active[em.src.inst.0 as usize] = false;
+                    active[em.dst.inst.0 as usize] = false;
+                }
+            }
+            for &e in store.transfers() {
+                let em = topo.edge_meta(e);
+                active[em.src.inst.0 as usize] = false;
+                active[em.dst.inst.0 as usize] = false;
+            }
+        }
+        result
     }
 
     /// Commit with activity tracking: gated instances commit only when
@@ -1889,6 +2241,58 @@ fn drain_island<const PROBED: bool, const RESIL: bool>(
         react_one::<PROBED, RESIL>(
             topo, modules, store, stats, metrics, now, i as usize, newly, probe, resil,
         )?;
+        for (e, wire) in newly.drain(..) {
+            for &t in topo.readers(wire, e) {
+                if plan.island_of(t) == island && !work.queued[t as usize] {
+                    work.queued[t as usize] = true;
+                    work.fifo.push_back(t);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run one fully specialized island to its local fixed point. All members
+/// are kernels (the classifier's all-or-none rule) and every member edge
+/// is a fast lane, so wake tracking rides on the lane writes: `Io::put`
+/// records newly resolved wires and the CSR wake tables re-queue island
+/// readers, exactly like the dynamic island driver. Specialized islands
+/// are data-acyclic by construction (only ack feedback), so the fixed
+/// point terminates without watchdog support.
+#[allow(clippy::too_many_arguments)]
+fn drain_island_spec(
+    topo: &Topology,
+    kernels: &mut [Option<Kernel>],
+    lanes: &mut [Lane],
+    store: &mut SignalStore,
+    metrics: &mut EngineMetrics,
+    now: u64,
+    plan: &CompiledPlan,
+    island: u32,
+    members: &[u32],
+    work: &mut WorkState,
+    newly: &mut Vec<(EdgeId, Wire)>,
+) -> Result<(), SimError> {
+    debug_assert!(work.fifo.is_empty());
+    for &m in members {
+        work.queued[m as usize] = true;
+        work.fifo.push_back(m);
+    }
+    while let Some(i) = work.fifo.pop_front() {
+        work.queued[i as usize] = false;
+        newly.clear();
+        metrics.reacts += 1;
+        let k = kernels[i as usize]
+            .as_ref()
+            .expect("specialized island member without a kernel");
+        let mut io = kernel::Io {
+            lanes: &mut *lanes,
+            store: &mut *store,
+            newly: Some(&mut *newly),
+            now,
+        };
+        k.react(&mut io)?;
         for (e, wire) in newly.drain(..) {
             for &t in topo.readers(wire, e) {
                 if plan.island_of(t) == island && !work.queued[t as usize] {

@@ -80,6 +80,7 @@ pub mod compile;
 pub mod error;
 pub mod exec;
 pub mod fault;
+pub mod kernel;
 pub mod module;
 pub mod netlist;
 pub mod params;
@@ -106,6 +107,7 @@ pub mod prelude {
     pub use crate::fault::{
         FailurePolicy, FaultKind, FaultPlan, InstFaultKind, InstanceFault, SignalFault,
     };
+    pub use crate::kernel::{AluFn, InstanceSummary, KernelHint, PlanSummary, SinkCollect};
     pub use crate::module::{Dir, Module, ModuleSpec, PortId, PortSpec};
     pub use crate::netlist::{EdgeId, Endpoint, InstanceId, Netlist, NetlistBuilder};
     pub use crate::params::{ParamValue, Params};

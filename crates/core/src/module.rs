@@ -218,6 +218,18 @@ pub trait Module: Send {
             ))
         }
     }
+
+    /// Offer a [`crate::kernel::KernelHint`] describing this instance as a
+    /// candidate for lowering into a type-specialized kernel once its
+    /// algorithmic parameters and wire types resolve at plan-compile time
+    /// (`crate::kernel`). The hint carries the fully resolved parameters
+    /// (depth, latency, script, ...) so the compiler can monomorphize
+    /// without re-parsing anything. The default (`None`) keeps the
+    /// instance on the dynamic `Module::react` path — always correct,
+    /// which is why arbitrary user modules need not opt in.
+    fn specialize(&self) -> Option<crate::kernel::KernelHint> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -30,15 +30,6 @@ pub struct Sample {
 }
 
 impl Sample {
-    fn new(v: f64) -> Self {
-        Sample {
-            sum: v,
-            n: 1,
-            min: v,
-            max: v,
-        }
-    }
-
     fn add(&mut self, v: f64) {
         self.sum += v;
         self.n += 1;
@@ -169,16 +160,29 @@ impl Histogram {
     }
 }
 
+/// Sentinel for an unresolved cached stat slot (see [`Stats::count_cached`]).
+pub(crate) const STAT_SLOT_UNRESOLVED: u32 = u32::MAX;
+
 /// Per-run statistics store, keyed by stat name, then instance.
 ///
 /// Stat names are `&'static str` so the hot increment path does no
 /// allocation; lookups with runtime `&str` names still hash straight to
 /// the entry (`&'static str: Borrow<str>`).
+///
+/// Values live in dense per-kind slot vectors; the name/instance maps
+/// hold `u32` indices into them. The indirection is invisible to the
+/// public API, but it gives the specialized handler kernels
+/// (`crate::kernel`) an O(1), hash-free increment path: resolve a slot
+/// once via the cached accessors below, then bump the vector entry
+/// directly on every subsequent step.
 #[derive(Default, Debug)]
 pub struct Stats {
-    counters: HashMap<&'static str, HashMap<u32, u64>>,
-    samples: HashMap<&'static str, HashMap<u32, Sample>>,
-    histograms: HashMap<&'static str, HashMap<u32, Histogram>>,
+    counters: HashMap<&'static str, HashMap<u32, u32>>,
+    samples: HashMap<&'static str, HashMap<u32, u32>>,
+    histograms: HashMap<&'static str, HashMap<u32, u32>>,
+    counter_vals: Vec<u64>,
+    sample_vals: Vec<Sample>,
+    histo_vals: Vec<Histogram>,
 }
 
 impl Stats {
@@ -187,36 +191,121 @@ impl Stats {
         Self::default()
     }
 
-    /// Add `by` to a counter of an instance. Wrapping, so counters can be
-    /// used as order-independent checksums of arbitrary word streams.
-    pub fn count(&mut self, inst: InstanceId, name: &'static str, by: u64) {
-        let c = self
+    /// Slot of a counter, creating a zeroed one on first touch.
+    fn counter_slot(&mut self, inst: InstanceId, name: &'static str) -> u32 {
+        let vals = &mut self.counter_vals;
+        *self
             .counters
             .entry(name)
             .or_default()
             .entry(inst.0)
-            .or_insert(0);
+            .or_insert_with(|| {
+                vals.push(0);
+                (vals.len() - 1) as u32
+            })
+    }
+
+    /// Slot of a sample aggregate, creating an empty one on first touch.
+    fn sample_slot(&mut self, inst: InstanceId, name: &'static str) -> u32 {
+        let vals = &mut self.sample_vals;
+        *self
+            .samples
+            .entry(name)
+            .or_default()
+            .entry(inst.0)
+            .or_insert_with(|| {
+                vals.push(Sample {
+                    sum: 0.0,
+                    n: 0,
+                    min: f64::INFINITY,
+                    max: f64::NEG_INFINITY,
+                });
+                (vals.len() - 1) as u32
+            })
+    }
+
+    /// Slot of a histogram, creating an empty one on first touch.
+    fn histo_slot(&mut self, inst: InstanceId, name: &'static str) -> u32 {
+        let vals = &mut self.histo_vals;
+        *self
+            .histograms
+            .entry(name)
+            .or_default()
+            .entry(inst.0)
+            .or_insert_with(|| {
+                vals.push(Histogram::new());
+                (vals.len() - 1) as u32
+            })
+    }
+
+    /// Add `by` to a counter of an instance. Wrapping, so counters can be
+    /// used as order-independent checksums of arbitrary word streams.
+    pub fn count(&mut self, inst: InstanceId, name: &'static str, by: u64) {
+        let slot = self.counter_slot(inst, name);
+        let c = &mut self.counter_vals[slot as usize];
         *c = c.wrapping_add(by);
     }
 
     /// Record one sample of a quantity of an instance.
     pub fn sample(&mut self, inst: InstanceId, name: &'static str, v: f64) {
-        self.samples
-            .entry(name)
-            .or_default()
-            .entry(inst.0)
-            .and_modify(|s| s.add(v))
-            .or_insert_with(|| Sample::new(v));
+        let slot = self.sample_slot(inst, name);
+        self.sample_vals[slot as usize].add(v);
     }
 
     /// Record one value into a log2-bucket histogram of an instance.
     pub fn histo(&mut self, inst: InstanceId, name: &'static str, v: u64) {
-        self.histograms
-            .entry(name)
-            .or_default()
-            .entry(inst.0)
-            .or_default()
-            .record(v);
+        let slot = self.histo_slot(inst, name);
+        self.histo_vals[slot as usize].record(v);
+    }
+
+    /// Counter bump through a caller-cached slot: resolves the slot on
+    /// first use (two hash gets, entry creation — exactly what
+    /// [`Stats::count`] would do), then a single vector index ever after.
+    /// The hot path of the specialized kernels.
+    #[inline]
+    pub(crate) fn count_cached(
+        &mut self,
+        slot: &mut u32,
+        inst: InstanceId,
+        name: &'static str,
+        by: u64,
+    ) {
+        if *slot == STAT_SLOT_UNRESOLVED {
+            *slot = self.counter_slot(inst, name);
+        }
+        let c = &mut self.counter_vals[*slot as usize];
+        *c = c.wrapping_add(by);
+    }
+
+    /// Sample through a caller-cached slot (see [`Stats::count_cached`]).
+    #[inline]
+    pub(crate) fn sample_cached(
+        &mut self,
+        slot: &mut u32,
+        inst: InstanceId,
+        name: &'static str,
+        v: f64,
+    ) {
+        if *slot == STAT_SLOT_UNRESOLVED {
+            *slot = self.sample_slot(inst, name);
+        }
+        self.sample_vals[*slot as usize].add(v);
+    }
+
+    /// Histogram record through a caller-cached slot (see
+    /// [`Stats::count_cached`]).
+    #[inline]
+    pub(crate) fn histo_cached(
+        &mut self,
+        slot: &mut u32,
+        inst: InstanceId,
+        name: &'static str,
+        v: u64,
+    ) {
+        if *slot == STAT_SLOT_UNRESOLVED {
+            *slot = self.histo_slot(inst, name);
+        }
+        self.histo_vals[*slot as usize].record(v);
     }
 
     /// Current value of a counter (0 if never touched). O(1): two hash
@@ -225,19 +314,25 @@ impl Stats {
         self.counters
             .get(name)
             .and_then(|m| m.get(&inst.0))
-            .copied()
+            .map(|&slot| self.counter_vals[slot as usize])
             .unwrap_or(0)
     }
 
     /// Current aggregate of a sampled quantity, if any samples were
     /// taken. O(1): two hash gets, no scan.
     pub fn get_sample(&self, inst: InstanceId, name: &str) -> Option<Sample> {
-        self.samples.get(name).and_then(|m| m.get(&inst.0)).copied()
+        self.samples
+            .get(name)
+            .and_then(|m| m.get(&inst.0))
+            .map(|&slot| self.sample_vals[slot as usize])
     }
 
     /// An instance's histogram of a stat, if any values were recorded.
     pub fn histogram(&self, inst: InstanceId, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name).and_then(|m| m.get(&inst.0))
+        self.histograms
+            .get(name)
+            .and_then(|m| m.get(&inst.0))
+            .map(|&slot| &self.histo_vals[slot as usize])
     }
 
     /// Sum of a counter across all instances (e.g. total retired
@@ -246,7 +341,10 @@ impl Stats {
     pub fn counter_total(&self, name: &str) -> u64 {
         self.counters
             .get(name)
-            .map(|m| m.values().fold(0u64, |a, v| a.wrapping_add(*v)))
+            .map(|m| {
+                m.values()
+                    .fold(0u64, |a, &slot| a.wrapping_add(self.counter_vals[slot as usize]))
+            })
             .unwrap_or(0)
     }
 
@@ -254,7 +352,8 @@ impl Stats {
     pub fn sample_total(&self, name: &str) -> Option<Sample> {
         let per_inst = self.samples.get(name)?;
         let mut acc: Option<Sample> = None;
-        for s in per_inst.values() {
+        for &slot in per_inst.values() {
+            let s = &self.sample_vals[slot as usize];
             match &mut acc {
                 None => acc = Some(*s),
                 Some(a) => a.merge(s),
@@ -267,7 +366,8 @@ impl Stats {
     pub fn histogram_total(&self, name: &str) -> Option<Histogram> {
         let per_inst = self.histograms.get(name)?;
         let mut acc: Option<Histogram> = None;
-        for h in per_inst.values() {
+        for &slot in per_inst.values() {
+            let h = &self.histo_vals[slot as usize];
             match &mut acc {
                 None => acc = Some(h.clone()),
                 Some(a) => a.merge(h),
@@ -281,13 +381,16 @@ impl Stats {
     /// byte-stable across runs regardless of hash-map iteration order.
     pub(crate) fn dump(&self) -> StatsDump {
         fn sorted<V: Clone>(
-            m: &HashMap<&'static str, HashMap<u32, V>>,
+            m: &HashMap<&'static str, HashMap<u32, u32>>,
+            vals: &[V],
         ) -> Vec<(String, Vec<(u32, V)>)> {
             let mut out: Vec<(String, Vec<(u32, V)>)> = m
                 .iter()
                 .map(|(name, per_inst)| {
-                    let mut inner: Vec<(u32, V)> =
-                        per_inst.iter().map(|(i, v)| (*i, v.clone())).collect();
+                    let mut inner: Vec<(u32, V)> = per_inst
+                        .iter()
+                        .map(|(i, &slot)| (*i, vals[slot as usize].clone()))
+                        .collect();
                     inner.sort_by_key(|(i, _)| *i);
                     ((*name).to_owned(), inner)
                 })
@@ -296,9 +399,9 @@ impl Stats {
             out
         }
         StatsDump {
-            counters: sorted(&self.counters),
-            samples: sorted(&self.samples),
-            histograms: sorted(&self.histograms),
+            counters: sorted(&self.counters, &self.counter_vals),
+            samples: sorted(&self.samples, &self.sample_vals),
+            histograms: sorted(&self.histograms, &self.histo_vals),
         }
     }
 
@@ -310,20 +413,33 @@ impl Stats {
     pub(crate) fn restore_from_dump(d: &StatsDump) -> Stats {
         fn rebuild<V: Clone>(
             src: &[(String, Vec<(u32, V)>)],
-        ) -> HashMap<&'static str, HashMap<u32, V>> {
+            vals: &mut Vec<V>,
+        ) -> HashMap<&'static str, HashMap<u32, u32>> {
             src.iter()
                 .map(|(name, per_inst)| {
                     (
                         intern_stat_name(name),
-                        per_inst.iter().map(|(i, v)| (*i, v.clone())).collect(),
+                        per_inst
+                            .iter()
+                            .map(|(i, v)| {
+                                vals.push(v.clone());
+                                (*i, (vals.len() - 1) as u32)
+                            })
+                            .collect(),
                     )
                 })
                 .collect()
         }
+        let mut counter_vals = Vec::new();
+        let mut sample_vals = Vec::new();
+        let mut histo_vals = Vec::new();
         Stats {
-            counters: rebuild(&d.counters),
-            samples: rebuild(&d.samples),
-            histograms: rebuild(&d.histograms),
+            counters: rebuild(&d.counters, &mut counter_vals),
+            samples: rebuild(&d.samples, &mut sample_vals),
+            histograms: rebuild(&d.histograms, &mut histo_vals),
+            counter_vals,
+            sample_vals,
+            histo_vals,
         }
     }
 
@@ -340,18 +456,27 @@ impl Stats {
         let mut samples = BTreeMap::new();
         let mut histograms = BTreeMap::new();
         for (n, per_inst) in &self.counters {
-            for (i, v) in per_inst {
-                counters.insert(format!("{}.{n}", name_of(*i)), *v);
+            for (i, &slot) in per_inst {
+                counters.insert(
+                    format!("{}.{n}", name_of(*i)),
+                    self.counter_vals[slot as usize],
+                );
             }
         }
         for (n, per_inst) in &self.samples {
-            for (i, s) in per_inst {
-                samples.insert(format!("{}.{n}", name_of(*i)), *s);
+            for (i, &slot) in per_inst {
+                samples.insert(
+                    format!("{}.{n}", name_of(*i)),
+                    self.sample_vals[slot as usize],
+                );
             }
         }
         for (n, per_inst) in &self.histograms {
-            for (i, h) in per_inst {
-                histograms.insert(format!("{}.{n}", name_of(*i)), h.clone());
+            for (i, &slot) in per_inst {
+                histograms.insert(
+                    format!("{}.{n}", name_of(*i)),
+                    self.histo_vals[slot as usize].clone(),
+                );
             }
         }
         StatsReport {

@@ -353,6 +353,17 @@ impl SignalStore {
         self.transfers = list;
     }
 
+    /// Credit the resolution counter for wires resolved outside the
+    /// store's slots — the specialized kernels' unboxed fast lanes
+    /// (`crate::kernel`). Fast-lane edges never touch their slots, so
+    /// without the credit [`SignalStore::fully_resolved_step`] could
+    /// never report true on a plan with specialized instances and the
+    /// default phase would sweep every step.
+    #[inline]
+    pub(crate) fn credit_fast_resolved(&mut self, wires: u64) {
+        self.resolved += wires;
+    }
+
     /// Edges whose transfer completed this step, in resolution order.
     /// Duplicate-free (monotonicity: the handshake completes exactly once).
     #[inline]

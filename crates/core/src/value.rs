@@ -156,6 +156,31 @@ impl Value {
         }
     }
 
+    /// Checked variant of [`Value::as_word`] that produces a structured
+    /// [`SimError::Type`] naming the instance and port instead of leaving
+    /// the caller to `unwrap` (and panic) on a mistyped payload. Used at
+    /// the boundaries of the specialized kernels' unboxed lanes
+    /// (`crate::kernel`), where a value that is not word-like cannot be
+    /// lowered.
+    pub fn word_checked(&self, instance: &str, port: &str) -> Result<u64, crate::error::SimError> {
+        self.as_word().ok_or_else(|| {
+            crate::error::SimError::type_err(format!(
+                "{instance}.{port}: expected a word-like value (word, int, bool), got {}",
+                self.kind()
+            ))
+        })
+    }
+
+    /// Checked variant of [`Value::as_bool`]; see [`Value::word_checked`].
+    pub fn bool_checked(&self, instance: &str, port: &str) -> Result<bool, crate::error::SimError> {
+        self.as_bool().ok_or_else(|| {
+            crate::error::SimError::type_err(format!(
+                "{instance}.{port}: expected a bool, got {}",
+                self.kind()
+            ))
+        })
+    }
+
     /// A short human-readable description of the value's dynamic type.
     pub fn kind(&self) -> &'static str {
         match self {

@@ -15,6 +15,8 @@
 //! --max-iters N               convergence watchdog bound per time-step
 //! --scheduler S               sweep | dynamic | static | compiled | compiled-par
 //! --threads N                 worker threads for --scheduler compiled-par
+//! --explain-plan              print which instances specialize (compiled only)
+//! --no-specialize             keep every handler on the dynamic path
 //! --max-steps N               run-governance step budget
 //! --deadline SECS             run-governance wall-clock deadline
 //! --retries N                 retry/backoff supervisor (arms rollback)
@@ -65,12 +67,14 @@ pub struct ObsOpts {
     deadline: Option<std::time::Duration>,
     retries: Option<u64>,
     sink_backpressure: Option<(SinkPolicy, usize)>,
+    explain_plan: bool,
+    no_specialize: bool,
     /// Arguments not consumed by the observability layer, in order.
     pub rest: Vec<String>,
 }
 
 /// One line per flag, for embedding in an example's usage message.
-pub const OBS_USAGE: &str = "  --trace             print transfers (cap with --trace-limit N, default 200)\n  --vcd PATH          dump data/enable/ack waveforms for GTKWave\n  --jsonl PATH        stream structured events as JSON lines\n  --profile           print a per-instance hot-spot table at exit\n  --metrics-out PATH  write engine metrics + statistics as JSON\n  --faults SEED       inject a seeded random fault plan (chaos mode)\n  --fault-horizon N   fault activity window for --faults (default 64)\n  --fault-policy P    abort | quarantine on module failure (default quarantine)\n  --max-iters N       convergence watchdog: bound reactions per time-step\n  --scheduler S       sweep | dynamic | static | compiled | compiled-par\n  --threads N         worker threads for --scheduler compiled-par\n  --checkpoint-every N  take a checkpoint every N steps\n  --checkpoint-dir DIR  persist checkpoints as DIR/step-NNNNNNNN.ckpt\n  --resume FILE       restore a checkpoint before running\n  --max-steps N       stop (with a run report) after N executed steps\n  --deadline SECS     stop (with a run report) after SECS wall-clock seconds\n  --retries N         retry from checkpoint up to N times on quarantine/divergence\n  --sink-backpressure P[:BYTES]  bound VCD/JSONL buffering: block | drop (default 1 MiB)";
+pub const OBS_USAGE: &str = "  --trace             print transfers (cap with --trace-limit N, default 200)\n  --vcd PATH          dump data/enable/ack waveforms for GTKWave\n  --jsonl PATH        stream structured events as JSON lines\n  --profile           print a per-instance hot-spot table at exit\n  --metrics-out PATH  write engine metrics + statistics as JSON\n  --faults SEED       inject a seeded random fault plan (chaos mode)\n  --fault-horizon N   fault activity window for --faults (default 64)\n  --fault-policy P    abort | quarantine on module failure (default quarantine)\n  --max-iters N       convergence watchdog: bound reactions per time-step\n  --scheduler S       sweep | dynamic | static | compiled | compiled-par\n  --threads N         worker threads for --scheduler compiled-par\n  --explain-plan      print which instances run as specialized kernels and why\n  --no-specialize     disable handler specialization (dynamic handler bodies)\n  --checkpoint-every N  take a checkpoint every N steps\n  --checkpoint-dir DIR  persist checkpoints as DIR/step-NNNNNNNN.ckpt\n  --resume FILE       restore a checkpoint before running\n  --max-steps N       stop (with a run report) after N executed steps\n  --deadline SECS     stop (with a run report) after SECS wall-clock seconds\n  --retries N         retry from checkpoint up to N times on quarantine/divergence\n  --sink-backpressure P[:BYTES]  bound VCD/JSONL buffering: block | drop (default 1 MiB)";
 
 impl ObsOpts {
     /// Parse `std::env::args().skip(1)`.
@@ -183,6 +187,8 @@ impl ObsOpts {
                             .ok_or("--retries requires a retry count")?,
                     );
                 }
+                "--explain-plan" => o.explain_plan = true,
+                "--no-specialize" => o.no_specialize = true,
                 "--sink-backpressure" => {
                     let v = args
                         .next()
@@ -305,6 +311,20 @@ impl ObsOpts {
             // targets when the host did not configure any.
             if self.checkpoint_every.is_none() {
                 sim.set_auto_checkpoint(64);
+            }
+        }
+        if self.no_specialize {
+            sim.set_specialization(false);
+        }
+        if self.explain_plan {
+            // After every other flag, so the summary's `enabled` state
+            // reflects probes/faults/--no-specialize suppression.
+            match sim.plan_summary() {
+                Some(summary) => eprintln!("{summary}"),
+                None => eprintln!(
+                    "plan: handler specialization applies to the serial \
+                     compiled scheduler only (run with --scheduler compiled)"
+                ),
             }
         }
         Ok(ObsSession {

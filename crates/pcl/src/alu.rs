@@ -90,6 +90,14 @@ impl Module for Alu {
         }
         Ok(())
     }
+
+    fn specialize(&self) -> Option<KernelHint> {
+        // Share `compute` itself so the kernel's results (and unknown-op
+        // errors) are bit-identical to the dynamic handler's. The
+        // classifier only accepts the hint when the operand wire provably
+        // carries (op, a, b) word tuples.
+        Some(KernelHint::Alu { compute })
+    }
 }
 
 /// Construct an ALU.

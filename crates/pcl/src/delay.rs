@@ -80,6 +80,12 @@ impl Module for Delay {
         self.inflight = inflight;
         Ok(())
     }
+
+    fn specialize(&self) -> Option<KernelHint> {
+        Some(KernelHint::Delay {
+            latency: self.latency,
+        })
+    }
 }
 
 /// Construct a delay line (see module docs).

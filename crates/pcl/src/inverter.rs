@@ -46,6 +46,13 @@ impl Module for Inverter {
     fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
         Ok(())
     }
+
+    fn specialize(&self) -> Option<KernelHint> {
+        // Odd rings have no fixed point; even rings do but need in-step
+        // iteration. Either way the classifier keeps cyclic islands
+        // dynamic, so the hint is unconditional here.
+        Some(KernelHint::Inverter)
+    }
 }
 
 /// Construct an inverter (see module docs).

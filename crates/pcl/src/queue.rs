@@ -179,6 +179,15 @@ impl Module for Queue {
         self.items = items;
         Ok(())
     }
+
+    fn specialize(&self) -> Option<KernelHint> {
+        // Bypass queues are combinational fall-throughs; the classifier
+        // keeps them dynamic (and explains why in the plan summary).
+        Some(KernelHint::Queue {
+            depth: self.depth,
+            bypass: self.bypass,
+        })
+    }
 }
 
 /// Construct a queue instance from parameters (see module docs).

@@ -63,6 +63,10 @@ impl Module for Reg {
         };
         r.expect_end()
     }
+
+    fn specialize(&self) -> Option<KernelHint> {
+        Some(KernelHint::Register)
+    }
 }
 
 /// Construct a pipeline register.

@@ -62,6 +62,16 @@ impl Module for Sink {
         }
         Ok(())
     }
+
+    fn specialize(&self) -> Option<KernelHint> {
+        // The collection buffer stays shared: the kernel pushes into the
+        // same handle the dynamic handler would, at the same commits.
+        let collect = self.collected.as_ref().map(|c| {
+            let inner = Arc::clone(&c.inner);
+            Arc::new(move |v: Value| inner.lock().push(v)) as SinkCollect
+        });
+        Some(KernelHint::Sink { collect })
+    }
 }
 
 fn sink_spec() -> ModuleSpec {

@@ -55,6 +55,14 @@ impl Module for ScriptSource {
         self.next = next;
         Ok(())
     }
+
+    fn specialize(&self) -> Option<KernelHint> {
+        // The classifier checks that every script value has a uniform
+        // unboxed shape; mixed or dynamic payloads stay on this handler.
+        Some(KernelHint::ScriptSource {
+            script: self.script.clone(),
+        })
+    }
 }
 
 /// A source that sends the given script of values, in order, retrying each
@@ -88,6 +96,12 @@ impl Module for RepeatingSource {
             }
         }
         Ok(())
+    }
+
+    fn specialize(&self) -> Option<KernelHint> {
+        Some(KernelHint::RepeatingSource {
+            value: self.value.clone(),
+        })
     }
 }
 
@@ -146,6 +160,15 @@ impl Module for SeqSource {
         self.next_val = r.get_u64()?;
         self.remaining = r.get_u64()?;
         r.expect_end()
+    }
+
+    fn specialize(&self) -> Option<KernelHint> {
+        Some(KernelHint::SeqSource {
+            start: self.start,
+            count: self.count,
+            step: self.step,
+            period: self.period,
+        })
     }
 }
 

@@ -68,6 +68,12 @@ impl Module for Tee {
         }
         Ok(())
     }
+
+    fn specialize(&self) -> Option<KernelHint> {
+        Some(KernelHint::Tee {
+            require_all: self.require_all,
+        })
+    }
 }
 
 /// Construct a tee (see module docs).
