@@ -25,14 +25,73 @@
 //! least-interfered measurement, which is what a regression guard must
 //! compare on a shared machine.
 
+use liberty_bench::ensemble::{LssFactory, ENSEMBLE_SPEC};
 use liberty_bench::kernel::{
     run_workload_governed, run_workload_probed, run_workload_specialized, KernelRun, ProbeMode,
     MEASURED_SCHEDS, WORKLOADS, W_PCL,
 };
-use liberty_bench::table;
-use liberty_core::prelude::SchedKind;
+use liberty_bench::{table, timed};
+use liberty_core::prelude::{CancelToken, JsonlProbe, SchedKind};
+use liberty_ensemble::{run_sweep, ReplicaFactory, SweepConfig};
 use std::collections::BTreeMap;
 use std::io::Write;
+
+/// Label for the ensemble-overhead baseline rows.
+const W_ENS: &str = "lss ensemble fixture";
+
+/// One-replica config over the ensemble fixture with auto-checkpoints
+/// off, so the comparison isolates the harness (manifest, supervision,
+/// worker dispatch) rather than snapshot I/O.
+fn ensemble_cfg(cycles: u64) -> SweepConfig {
+    let mut cfg = SweepConfig::new(cycles);
+    cfg.checkpoint_every = 0;
+    cfg
+}
+
+/// Fresh scratch directory per measurement (a sweep refuses to start
+/// over an existing manifest).
+fn ensemble_scratch(tag: u32) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("kernel-bench-ens-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    dir
+}
+
+/// The exact work one replica does, minus the harness: a bare governed
+/// run of the fixture streaming canonical JSONL through a buffered
+/// writer — the cheapest correct single-run setup. The ensemble replica
+/// deliberately streams unbuffered (its durability invariant), so the
+/// margin charges it for that too.
+fn bare_replica_secs(cycles: u64, tag: u32) -> f64 {
+    let dir = ensemble_scratch(tag);
+    let factory = LssFactory::new(ENSEMBLE_SPEC, SchedKind::Compiled);
+    let spec = ensemble_cfg(cycles)
+        .replicas()
+        .into_iter()
+        .next()
+        .expect("one replica");
+    let mut sim = factory.build(&spec).expect("fixture builds");
+    let file = std::io::BufWriter::new(
+        std::fs::File::create(dir.join("bare.jsonl")).expect("stream file"),
+    );
+    sim.set_probe(Box::new(JsonlProbe::new(file).canonical()));
+    let (_report, secs) = timed(|| sim.run_governed(cycles));
+    let _ = std::fs::remove_dir_all(&dir);
+    secs
+}
+
+/// The same run through the sweep harness as a one-replica ensemble.
+fn ensemble_replica_secs(cycles: u64, tag: u32) -> f64 {
+    let dir = ensemble_scratch(tag);
+    let factory = LssFactory::new(ENSEMBLE_SPEC, SchedKind::Compiled);
+    let cancel = CancelToken::new();
+    let (report, secs) = timed(|| {
+        run_sweep(&dir, &ensemble_cfg(cycles), &cancel, &factory).expect("one-replica sweep")
+    });
+    assert!(report.complete(), "bench sweep must complete");
+    let _ = std::fs::remove_dir_all(&dir);
+    secs
+}
 
 fn throughput_rows(runs: &[KernelRun]) -> Vec<Vec<String>> {
     runs.iter()
@@ -229,6 +288,38 @@ fn main() {
         )
     );
 
+    // --- Ensemble harness overhead: one-replica sweep vs a bare run ---
+    // Same modules, same scheduler, same canonical JSONL stream; the
+    // sweep adds the manifest, supervision (catch_unwind + budget +
+    // cancel), and worker dispatch. The margin below is
+    // ensemble-throughput / bare-throughput (1.0 = free harness).
+    let best_secs = |f: &dyn Fn(u64, u32) -> f64| {
+        (0..best.max(1))
+            .map(|i| f(cycles, i))
+            .min_by(|a, b| a.total_cmp(b))
+            .expect("best >= 1")
+    };
+    let bare_sps = cycles as f64 / best_secs(&bare_replica_secs);
+    let ens_sps = cycles as f64 / best_secs(&ensemble_replica_secs);
+    let ens_margin = ens_sps / bare_sps;
+    println!(
+        "{}",
+        table(
+            &[
+                "workload (Compiled)",
+                "bare run steps/s",
+                "1-replica ensemble steps/s",
+                "ensemble/single",
+            ],
+            &[vec![
+                W_ENS.to_string(),
+                format!("{bare_sps:.0}"),
+                format!("{ens_sps:.0}"),
+                format!("{ens_margin:.2}x"),
+            ]]
+        )
+    );
+
     // --- Baseline guard (supervisor off: the default run path) ---
     if let Some(path) = write_baseline {
         let mut f = std::fs::File::create(resolve(&path)).expect("create baseline file");
@@ -247,6 +338,7 @@ fn main() {
         )
         .unwrap();
         writeln!(f, "{W_PCL}\tspecialized/dynamic\t{spec_margin:.2}").unwrap();
+        writeln!(f, "{W_ENS}\tensemble/single\t{ens_margin:.2}").unwrap();
         println!("baseline written to {path}");
     }
     if let Some(path) = baseline {
@@ -303,6 +395,21 @@ fn main() {
             println!(
                 "baseline: {W_PCL}\tspecialized/dynamic  required {base:.2}x, \
                  measured {spec_margin:.2}x {verdict}"
+            );
+        }
+        // Ensemble-harness guard: the one-replica sweep must retain at
+        // least the recorded fraction of bare-run throughput (catches
+        // per-step supervision cost leaking into the replica hot loop).
+        if let Some(&base) = recorded.get(&format!("{W_ENS}\tensemble/single")) {
+            let verdict = if ens_margin < base {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "baseline: {W_ENS}\tensemble/single  required {base:.2}x, \
+                 measured {ens_margin:.2}x {verdict}"
             );
         }
         if failed {

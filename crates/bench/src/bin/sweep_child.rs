@@ -1,0 +1,59 @@
+//! Sacrificial sweep process for the ensemble resilience tests.
+//!
+//! Runs (or resumes) the fixture sweep from
+//! [`liberty_bench::ensemble::child_config`] into the given directory,
+//! with a SIGINT handler wired to the sweep's [`CancelToken`]. The
+//! parent test either interrupts it (SIGINT — every in-flight replica
+//! takes a clean-cut checkpoint and parks) or kills it outright
+//! (`SIGKILL` — no cleanup of any kind runs), then resumes the manifest
+//! and asserts byte-identity against an uninterrupted control.
+//!
+//! ```text
+//! sweep_child DIR CYCLES [resume]
+//! ```
+//!
+//! Exit codes: 0 = sweep complete, 2 = interrupted but resumable.
+
+use liberty_bench::ensemble::{child_config, LssFactory, ENSEMBLE_SPEC};
+use liberty_core::prelude::{CancelToken, SchedKind};
+use std::path::PathBuf;
+
+fn sigint_token() -> CancelToken {
+    static CANCELLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    #[cfg(unix)]
+    {
+        extern "C" fn on_sigint(_signum: i32) {
+            CANCELLED.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+    CancelToken::from_static(&CANCELLED)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dir = PathBuf::from(args.next().expect("usage: sweep_child DIR CYCLES [resume]"));
+    let cycles: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .expect("usage: sweep_child DIR CYCLES [resume]");
+    let resume = args.next().as_deref() == Some("resume");
+
+    let cfg = child_config(cycles);
+    let factory = LssFactory::new(ENSEMBLE_SPEC, SchedKind::Compiled);
+    let cancel = sigint_token();
+    let report = if resume {
+        liberty_ensemble::resume_sweep(&dir, &cfg, &cancel, &factory)
+    } else {
+        liberty_ensemble::run_sweep(&dir, &cfg, &cancel, &factory)
+    }
+    .expect("sweep harness");
+    print!("{}", report.render());
+    std::process::exit(if report.complete() { 0 } else { 2 });
+}

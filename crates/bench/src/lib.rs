@@ -2,6 +2,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ensemble;
 pub mod handler;
 pub mod kernel;
 

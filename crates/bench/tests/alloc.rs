@@ -9,31 +9,47 @@
 //! contract with a counting global allocator: one million word transfers
 //! through a 64-stage forwarding chain, zero allocations.
 //!
-//! Kept as its own integration test binary so no concurrently running
-//! test can pollute the global allocation counter.
+//! Kept as its own integration test binary, and counted *per thread*:
+//! the simulator runs entirely on the test thread, while libtest's main
+//! thread waits the test out with timed channel receives that allocate
+//! now and then — a process-wide counter flakes on that background
+//! noise.
 
 use liberty_core::prelude::*;
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+std::thread_local! {
+    // Const-initialized and Drop-free, so the allocator never recurses
+    // into lazy TLS setup and teardown access stays safe (`try_with`).
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocations charged to the calling thread so far.
+fn allocs() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+fn bump() {
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, l: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.alloc(l) }
     }
     unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
         unsafe { System.dealloc(p, l) }
     }
     unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.realloc(p, l, n) }
     }
     unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.alloc_zeroed(l) }
     }
 }
@@ -114,9 +130,9 @@ fn a_million_word_transfers_allocate_nothing() {
     // Warm-up: let every lazily grown structure (transfer list, wake
     // buffer, stats entries, plan-order scratch) reach steady capacity.
     sim.run(4).unwrap();
-    let before = ALLOCS.load(Ordering::SeqCst);
+    let before = allocs();
     sim.run(STEPS).unwrap();
-    let after = ALLOCS.load(Ordering::SeqCst);
+    let after = allocs();
     assert_eq!(
         after - before,
         0,

@@ -347,8 +347,7 @@ impl Simulator {
             return None;
         }
         let classification = kernel::classify(&self.topo, plan, &self.modules);
-        let enabled =
-            self.spec_enabled && self.probe.is_none() && self.resil.is_none();
+        let enabled = self.spec_enabled && self.probe.is_none() && self.resil.is_none();
         Some(classification.summary(&self.topo, enabled))
     }
 
@@ -1683,8 +1682,19 @@ impl Simulator {
                             )?;
                         } else {
                             drain_island::<false, false>(
-                                topo, modules, store, stats, metrics, *now, plan, *island,
-                                members, work, &mut newly, &mut dyn_probe, resil,
+                                topo,
+                                modules,
+                                store,
+                                stats,
+                                metrics,
+                                *now,
+                                plan,
+                                *island,
+                                members,
+                                work,
+                                &mut newly,
+                                &mut dyn_probe,
+                                resil,
                             )?;
                         }
                     }
@@ -1828,8 +1838,7 @@ impl Simulator {
             // handlers drive every wire), so the store's unresolved view
             // of those edges is a bypass artifact, not missing work.
             while cursor < n_edges
-                && (self.store.is_fully_resolved(EdgeId(cursor as u32))
-                    || self.fast_edge(cursor))
+                && (self.store.is_fully_resolved(EdgeId(cursor as u32)) || self.fast_edge(cursor))
             {
                 cursor += 1;
             }

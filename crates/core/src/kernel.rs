@@ -569,7 +569,12 @@ impl QueueK {
         if self.items.len() == self.depth {
             stats.count_cached(&mut self.s_full, self.inst, "full_cycles", 1);
         }
-        stats.sample_cached(&mut self.s_occ, self.inst, "occupancy", self.items.len() as f64);
+        stats.sample_cached(
+            &mut self.s_occ,
+            self.inst,
+            "occupancy",
+            self.items.len() as f64,
+        );
         stats.histo_cached(
             &mut self.s_dist,
             self.inst,
@@ -1006,13 +1011,17 @@ impl Kernel {
         let kind = plan.kind[i];
         let payload_kind = |what: &str| {
             kind.ok_or_else(|| {
-                SimError::internal(format!("{name}: {what} kernel without a resolved lane type"))
+                SimError::internal(format!(
+                    "{name}: {what} kernel without a resolved lane type"
+                ))
             })
         };
         Ok(match hint {
             KernelHint::Queue { depth, bypass } => {
                 if bypass {
-                    return Err(SimError::internal("bypass queue offered for specialization"));
+                    return Err(SimError::internal(
+                        "bypass queue offered for specialization",
+                    ));
                 }
                 let kind = payload_kind("queue")?;
                 let mut items = VecDeque::new();
@@ -1266,12 +1275,13 @@ pub(crate) fn classify(
         in_edges[em.dst.inst.0 as usize].push(e as u32);
     }
 
-    let demote = |eligible: &mut Vec<bool>, reason: &mut Vec<Option<String>>, i: usize, why: String| {
-        if eligible[i] {
-            eligible[i] = false;
-            reason[i] = Some(why);
-        }
-    };
+    let demote =
+        |eligible: &mut Vec<bool>, reason: &mut Vec<Option<String>>, i: usize, why: String| {
+            if eligible[i] {
+                eligible[i] = false;
+                reason[i] = Some(why);
+            }
+        };
 
     // Pass 1: hints, and the demotions decidable per-instance.
     let hints: Vec<Option<KernelHint>> = modules.iter().map(|m| m.specialize()).collect();
@@ -1493,7 +1503,10 @@ pub(crate) fn classify(
                         &mut eligible,
                         &mut reason,
                         i,
-                        format!("fed by dynamic instance {:?}", topo.name(InstanceId(src as u32))),
+                        format!(
+                            "fed by dynamic instance {:?}",
+                            topo.name(InstanceId(src as u32))
+                        ),
                     );
                     changed = true;
                     break;
@@ -1728,7 +1741,11 @@ impl fmt::Display for PlanSummary {
             self.dynamic,
             self.fast_edges,
             self.total_edges,
-            if self.enabled { "" } else { " (specialization disabled)" },
+            if self.enabled {
+                ""
+            } else {
+                " (specialization disabled)"
+            },
         )?;
         for inst in &self.instances {
             if inst.specialized {
@@ -1770,7 +1787,10 @@ mod tests {
         assert_eq!(kind_of(&Value::Int(3)), None);
         assert_eq!(kind_of(&Value::Float(0.5)), None);
         assert_eq!(
-            kind_of(&Value::Tuple(Arc::new(vec![Value::Word(1), Value::Word(2)]))),
+            kind_of(&Value::Tuple(Arc::new(vec![
+                Value::Word(1),
+                Value::Word(2)
+            ]))),
             None
         );
         assert_eq!(

@@ -84,7 +84,7 @@ pub mod kernel;
 pub mod module;
 pub mod netlist;
 pub mod params;
-mod pool;
+pub mod pool;
 pub mod probe;
 pub mod profile;
 pub mod registry;

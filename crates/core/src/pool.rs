@@ -27,7 +27,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
 /// A panic payload carried back from a worker.
-pub(crate) type Payload = Box<dyn std::any::Any + Send + 'static>;
+pub type Payload = Box<dyn std::any::Any + Send + 'static>;
 
 /// A type-erased borrowed task. The pointee is a `&mut dyn FnMut()` whose
 /// real lifetime is the duration of one `run` call; `run`'s barrier makes
@@ -46,14 +46,19 @@ struct Worker {
 }
 
 /// A fixed-size pool of named worker threads executing borrowed closures.
-pub(crate) struct WorkerPool {
+///
+/// Public because it serves two masters: the level-parallel compiled
+/// scheduler (short bursts within one step) and the ensemble runner
+/// (`liberty-ensemble`), which uses the same lanes to run whole replicas
+/// concurrently.
+pub struct WorkerPool {
     workers: Vec<Worker>,
 }
 
 impl WorkerPool {
     /// Spawn `n` workers (the caller's thread is an implicit extra lane,
     /// so the pool supports `n + 1`-way parallelism).
-    pub(crate) fn new(n: usize) -> WorkerPool {
+    pub fn new(n: usize) -> WorkerPool {
         let workers = (0..n)
             .map(|i| {
                 let (job_tx, job_rx) = channel::<Job>();
@@ -84,7 +89,7 @@ impl WorkerPool {
 
     /// Maximum tasks one `run` call can execute in parallel (workers plus
     /// the calling thread).
-    pub(crate) fn capacity(&self) -> usize {
+    pub fn capacity(&self) -> usize {
         self.workers.len() + 1
     }
 
@@ -93,7 +98,7 @@ impl WorkerPool {
     /// one entry per task — `None` for clean completion, `Some(payload)`
     /// for a panic (re-raise with `std::panic::resume_unwind` once shared
     /// state is consistent again).
-    pub(crate) fn run<'env>(
+    pub fn run<'env>(
         &mut self,
         tasks: &mut [&mut (dyn FnMut() + Send + 'env)],
     ) -> Vec<Option<Payload>> {

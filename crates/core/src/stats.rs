@@ -342,8 +342,9 @@ impl Stats {
         self.counters
             .get(name)
             .map(|m| {
-                m.values()
-                    .fold(0u64, |a, &slot| a.wrapping_add(self.counter_vals[slot as usize]))
+                m.values().fold(0u64, |a, &slot| {
+                    a.wrapping_add(self.counter_vals[slot as usize])
+                })
             })
             .unwrap_or(0)
     }

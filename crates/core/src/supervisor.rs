@@ -418,6 +418,60 @@ impl RunReport {
         }
         s
     }
+
+    /// Machine-readable JSON rendering (one object, no trailing newline)
+    /// for `--report-json` and the ensemble aggregator. Hand-rolled like
+    /// the JSONL probe stream: keys appear in a fixed order so reports
+    /// diff cleanly in CI.
+    pub fn to_json(&self) -> String {
+        use crate::probe::json_escape;
+        let mut s = String::with_capacity(256);
+        s.push_str(&format!(
+            "{{\"outcome\":\"{}\"",
+            json_escape(self.outcome.label())
+        ));
+        if let RunOutcome::BudgetExhausted(kind) = &self.outcome {
+            s.push_str(&format!(",\"budget_axis\":\"{}\"", kind.label()));
+        }
+        s.push_str(&format!(
+            ",\"steps_requested\":{},\"steps_completed\":{},\"steps_executed\":{}",
+            self.steps_requested, self.steps_completed, self.steps_executed
+        ));
+        s.push_str(&format!(",\"elapsed_ns\":{}", self.elapsed.as_nanos()));
+        s.push_str(",\"retries\":{");
+        for (i, (k, v)) in self.retries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{v}", json_escape(k)));
+        }
+        s.push_str(&format!("}},\"rollbacks\":{}", self.rollbacks));
+        match self.memory_peak {
+            Some(peak) => s.push_str(&format!(",\"memory_peak\":{peak}")),
+            None => s.push_str(",\"memory_peak\":null"),
+        }
+        s.push_str(",\"quarantined\":[");
+        for (i, q) in self.quarantined.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\"", json_escape(q)));
+        }
+        s.push(']');
+        match &self.last_checkpoint {
+            Some(p) => s.push_str(&format!(
+                ",\"last_checkpoint\":\"{}\"",
+                json_escape(&p.display().to_string())
+            )),
+            None => s.push_str(",\"last_checkpoint\":null"),
+        }
+        match &self.error {
+            Some(e) => s.push_str(&format!(",\"error\":\"{}\"", json_escape(&e.to_string()))),
+            None => s.push_str(",\"error\":null"),
+        }
+        s.push('}');
+        s
+    }
 }
 
 /// Per-simulator governance state, `Option<Box<_>>`-gated on the

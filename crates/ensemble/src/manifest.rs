@@ -1,0 +1,584 @@
+//! The durable sweep manifest: an append-only, per-line CRC-checked log
+//! of every replica's lifecycle.
+//!
+//! Format: one record per line, `CCCCCCCC\tpayload\n`, where `C` is the
+//! lower-case hex CRC-32 (IEEE, the checkpoint envelope's polynomial) of
+//! the payload bytes. Payloads are space-separated `key=value` tokens
+//! with the record type first (`t=done r=3 ...`); a free-text `reason`
+//! field, when present, is always last and runs to the end of the line.
+//!
+//! Durability model: records are appended with a single `write_all` and
+//! never rewritten, so any prefix of the file is a valid manifest. A
+//! process killed mid-append (`kill -9`) can leave at most one torn
+//! final line, which the loader detects by CRC/shape and discards; a
+//! corrupt line anywhere *else* is real corruption and loads fail
+//! loudly. The last record for a replica wins: `start` with no terminal
+//! record means the writer died mid-replica and resume restarts that
+//! replica from its newest decodable checkpoint.
+
+use crate::sweep::{ParamSweep, SweepConfig};
+use crate::EnsembleError;
+use liberty_core::snapshot::crc32;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::path::Path;
+
+/// Manifest file name inside a sweep directory.
+pub const MANIFEST_FILE: &str = "manifest.tsv";
+
+/// Current manifest format version.
+pub const VERSION: u32 = 1;
+
+/// The sweep geometry recorded in the manifest's first line. Resume
+/// validates these against the resuming configuration: they determine
+/// *what each replica simulates*, so a mismatch would silently produce
+/// different results under the same replica ids.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepHeader {
+    /// Manifest format version.
+    pub version: u32,
+    /// Total replicas in the grid.
+    pub total: usize,
+    /// Replicas per parameter point.
+    pub seeds: u64,
+    /// Base seed for per-replica seed derivation.
+    pub base_seed: u64,
+    /// Steps per replica.
+    pub cycles: u64,
+    /// The swept parameter range, if any.
+    pub param: Option<ParamSweep>,
+    /// Chaos fault-plan intensity, if any (bit-exact: stored as the
+    /// `f64` bit pattern).
+    pub fault_rate: Option<f64>,
+}
+
+impl SweepHeader {
+    /// Capture the geometry of `config`.
+    pub fn of(config: &SweepConfig) -> SweepHeader {
+        SweepHeader {
+            version: VERSION,
+            total: config.total(),
+            seeds: config.seeds.max(1),
+            base_seed: config.base_seed,
+            cycles: config.cycles,
+            param: config.sweep.clone(),
+            fault_rate: config.fault_rate,
+        }
+    }
+
+    /// Check that a resuming configuration regenerates this manifest's
+    /// grid exactly.
+    pub fn matches(&self, config: &SweepConfig) -> Result<(), EnsembleError> {
+        let theirs = SweepHeader::of(config);
+        if *self != theirs {
+            return Err(EnsembleError::Manifest(format!(
+                "resume geometry mismatch: manifest {self:?} vs config {theirs:?}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One manifest record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// First line of every manifest: the sweep geometry.
+    Header(SweepHeader),
+    /// Replica `r` began (or re-began, on resume) executing.
+    Start {
+        /// Replica id.
+        r: usize,
+    },
+    /// Replica `r` reached its horizon.
+    Done {
+        /// Replica id.
+        r: usize,
+        /// Terminal [`RunOutcome`](liberty_core::prelude::RunOutcome)
+        /// label: `completed` or `degraded`.
+        outcome: String,
+        /// Simulated steps at exit (== cycles).
+        steps: u64,
+        /// Total transfers across all edges.
+        transfers: u64,
+        /// CRC-32 of the final snapshot payload.
+        state_hash: u32,
+        /// CRC-32 of the replica's canonical JSONL stream file.
+        stream_crc: u32,
+    },
+    /// Replica `r` failed terminally; resume leaves it failed.
+    Failed {
+        /// Replica id.
+        r: usize,
+        /// Simulated steps when it died (0 when unknown — e.g. the
+        /// simulator was lost to a panic).
+        steps: u64,
+        /// Human-readable cause (panic message or error display).
+        reason: String,
+    },
+    /// Replica `r` was cut cleanly mid-flight (cancellation or budget
+    /// exhaustion) and can resume from `ckpt`.
+    Interrupted {
+        /// Replica id.
+        r: usize,
+        /// Simulated steps at the cut (== the checkpoint's step).
+        step: u64,
+        /// What cut it: `cancel`, `budget-steps`, `budget-deadline`, …
+        cause: String,
+        /// Checkpoint path relative to the sweep directory, when one
+        /// was persisted.
+        ckpt: Option<String>,
+    },
+    /// Appended once per invocation, after its last replica: the
+    /// sweep-wide tally at exit.
+    Summary {
+        /// Replicas with a `done` record.
+        done: usize,
+        /// Replicas with a `failed` record.
+        failed: usize,
+        /// Replicas parked mid-flight (interrupted or mid-replica
+        /// `start`).
+        interrupted: usize,
+        /// Replicas never started.
+        pending: usize,
+    },
+}
+
+fn sanitize(reason: &str) -> String {
+    reason
+        .chars()
+        .map(|c| {
+            if c == '\n' || c == '\t' || c == '\r' {
+                ' '
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+impl Record {
+    /// The replica this record is about, if any.
+    pub fn replica(&self) -> Option<usize> {
+        match self {
+            Record::Start { r }
+            | Record::Done { r, .. }
+            | Record::Failed { r, .. }
+            | Record::Interrupted { r, .. } => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Encode the payload (no CRC, no newline).
+    pub fn encode(&self) -> String {
+        let mut s = String::new();
+        match self {
+            Record::Header(h) => {
+                write!(
+                    s,
+                    "t=sweep v={} total={} seeds={} base_seed={} cycles={} param={} fault_rate={}",
+                    h.version,
+                    h.total,
+                    h.seeds,
+                    h.base_seed,
+                    h.cycles,
+                    h.param.as_ref().map_or("-".to_owned(), |p| p.render()),
+                    h.fault_rate
+                        .map_or("-".to_owned(), |f| format!("{:016x}", f.to_bits())),
+                )
+                .unwrap();
+            }
+            Record::Start { r } => write!(s, "t=start r={r}").unwrap(),
+            Record::Done {
+                r,
+                outcome,
+                steps,
+                transfers,
+                state_hash,
+                stream_crc,
+            } => write!(
+                s,
+                "t=done r={r} outcome={outcome} steps={steps} transfers={transfers} \
+                 hash={state_hash:08x} stream_crc={stream_crc:08x}"
+            )
+            .unwrap(),
+            Record::Failed { r, steps, reason } => write!(
+                s,
+                "t=failed r={r} steps={steps} reason={}",
+                sanitize(reason)
+            )
+            .unwrap(),
+            Record::Interrupted {
+                r,
+                step,
+                cause,
+                ckpt,
+            } => write!(
+                s,
+                "t=interrupted r={r} step={step} cause={cause} ckpt={}",
+                ckpt.as_deref().unwrap_or("-")
+            )
+            .unwrap(),
+            Record::Summary {
+                done,
+                failed,
+                interrupted,
+                pending,
+            } => write!(
+                s,
+                "t=summary done={done} failed={failed} interrupted={interrupted} \
+                 pending={pending}"
+            )
+            .unwrap(),
+        }
+        s
+    }
+
+    /// Decode one payload line.
+    pub fn parse(payload: &str) -> Result<Record, String> {
+        // `reason` runs to end-of-line; split it off before tokenizing.
+        let (head, reason) = match payload.split_once(" reason=") {
+            Some((h, r)) => (h, Some(r.to_owned())),
+            None => (payload, None),
+        };
+        let mut kv = BTreeMap::new();
+        for tok in head.split(' ').filter(|t| !t.is_empty()) {
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("token `{tok}` is not key=value"))?;
+            kv.insert(k, v);
+        }
+        let get = |k: &str| -> Result<&str, String> {
+            kv.get(k).copied().ok_or_else(|| format!("missing `{k}`"))
+        };
+        let int = |k: &str| -> Result<u64, String> {
+            get(k)?.parse().map_err(|_| format!("bad integer `{k}`"))
+        };
+        let hex = |k: &str| -> Result<u32, String> {
+            u32::from_str_radix(get(k)?, 16).map_err(|_| format!("bad hex `{k}`"))
+        };
+        match get("t")? {
+            "sweep" => Ok(Record::Header(SweepHeader {
+                version: int("v")? as u32,
+                total: int("total")? as usize,
+                seeds: int("seeds")?,
+                base_seed: int("base_seed")?,
+                cycles: int("cycles")?,
+                param: match get("param")? {
+                    "-" => None,
+                    p => Some(ParamSweep::parse(p)?),
+                },
+                fault_rate: match get("fault_rate")? {
+                    "-" => None,
+                    f => Some(f64::from_bits(
+                        u64::from_str_radix(f, 16).map_err(|_| "bad fault_rate".to_owned())?,
+                    )),
+                },
+            })),
+            "start" => Ok(Record::Start {
+                r: int("r")? as usize,
+            }),
+            "done" => Ok(Record::Done {
+                r: int("r")? as usize,
+                outcome: get("outcome")?.to_owned(),
+                steps: int("steps")?,
+                transfers: int("transfers")?,
+                state_hash: hex("hash")?,
+                stream_crc: hex("stream_crc")?,
+            }),
+            "failed" => Ok(Record::Failed {
+                r: int("r")? as usize,
+                steps: int("steps")?,
+                reason: reason.unwrap_or_default(),
+            }),
+            "interrupted" => Ok(Record::Interrupted {
+                r: int("r")? as usize,
+                step: int("step")?,
+                cause: get("cause")?.to_owned(),
+                ckpt: match get("ckpt")? {
+                    "-" => None,
+                    p => Some(p.to_owned()),
+                },
+            }),
+            "summary" => Ok(Record::Summary {
+                done: int("done")? as usize,
+                failed: int("failed")? as usize,
+                interrupted: int("interrupted")? as usize,
+                pending: int("pending")? as usize,
+            }),
+            other => Err(format!("unknown record type `{other}`")),
+        }
+    }
+}
+
+/// Append-only manifest writer. Each record is one `write_all` of a
+/// fully formed line, so a crash can tear at most the final line —
+/// which the loader discards.
+pub struct ManifestWriter {
+    file: std::fs::File,
+}
+
+impl ManifestWriter {
+    /// Create a fresh manifest (truncating any old one) and write the
+    /// header record.
+    pub fn create(path: &Path, header: &SweepHeader) -> Result<ManifestWriter, EnsembleError> {
+        let file = std::fs::File::create(path)?;
+        let mut w = ManifestWriter { file };
+        w.append(&Record::Header(header.clone()))?;
+        Ok(w)
+    }
+
+    /// Open an existing manifest for appending (the resume path).
+    pub fn open_append(path: &Path) -> Result<ManifestWriter, EnsembleError> {
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        Ok(ManifestWriter { file })
+    }
+
+    /// Append one record.
+    pub fn append(&mut self, record: &Record) -> Result<(), EnsembleError> {
+        let payload = record.encode();
+        let line = format!("{:08x}\t{payload}\n", crc32(payload.as_bytes()));
+        self.file.write_all(line.as_bytes())?;
+        Ok(())
+    }
+}
+
+/// A loaded manifest: header, the *latest* record per replica, and the
+/// per-invocation summaries.
+#[derive(Clone, Debug)]
+pub struct Manifest {
+    /// The sweep geometry.
+    pub header: SweepHeader,
+    /// Last record seen per replica id (lifecycle state).
+    pub latest: BTreeMap<usize, Record>,
+    /// All summary records, oldest first (one per prior invocation).
+    pub summaries: Vec<Record>,
+    /// True when a torn final line (crash mid-append) was discarded.
+    pub torn_tail: bool,
+}
+
+/// Load and validate a manifest. A CRC/shape-invalid **final** line is
+/// tolerated as a torn append; anywhere else it is corruption and the
+/// load fails.
+pub fn load(path: &Path) -> Result<Manifest, EnsembleError> {
+    let bytes = std::fs::read(path)?;
+    let text = String::from_utf8_lossy(&bytes);
+    let mut header: Option<SweepHeader> = None;
+    let mut latest = BTreeMap::new();
+    let mut summaries = Vec::new();
+    let mut torn_tail = false;
+    let lines: Vec<&str> = text.split('\n').collect();
+    let n = lines.len();
+    for (i, line) in lines.iter().enumerate() {
+        // `split('\n')` yields a final "" for a well-terminated file; a
+        // non-empty final segment had no trailing newline (torn).
+        let is_last = i + 1 == n;
+        if line.is_empty() {
+            if !is_last {
+                return Err(EnsembleError::Manifest(format!(
+                    "{}: empty line {} mid-manifest",
+                    path.display(),
+                    i + 1
+                )));
+            }
+            continue;
+        }
+        let parsed = line
+            .split_once('\t')
+            .ok_or_else(|| "no CRC field".to_owned())
+            .and_then(|(crc_hex, payload)| {
+                let crc = u32::from_str_radix(crc_hex, 16).map_err(|_| "bad CRC hex".to_owned())?;
+                if crc != crc32(payload.as_bytes()) {
+                    return Err("CRC mismatch".to_owned());
+                }
+                Record::parse(payload)
+            });
+        let record = match parsed {
+            Ok(r) => r,
+            Err(e) if is_last => {
+                // Torn final line from a killed writer: discard.
+                let _ = e;
+                torn_tail = true;
+                continue;
+            }
+            Err(e) => {
+                return Err(EnsembleError::Manifest(format!(
+                    "{}: corrupt line {}: {e}",
+                    path.display(),
+                    i + 1
+                )));
+            }
+        };
+        match record {
+            Record::Header(h) => {
+                if header.is_some() {
+                    return Err(EnsembleError::Manifest(format!(
+                        "{}: duplicate header at line {}",
+                        path.display(),
+                        i + 1
+                    )));
+                }
+                if h.version != VERSION {
+                    return Err(EnsembleError::Manifest(format!(
+                        "{}: manifest version {} (this build reads {VERSION})",
+                        path.display(),
+                        h.version
+                    )));
+                }
+                header = Some(h);
+            }
+            Record::Summary { .. } => summaries.push(record),
+            other => {
+                let r = other.replica().expect("replica-scoped record");
+                latest.insert(r, other);
+            }
+        }
+    }
+    let header = header.ok_or_else(|| {
+        EnsembleError::Manifest(format!("{}: missing header record", path.display()))
+    })?;
+    Ok(Manifest {
+        header,
+        latest,
+        summaries,
+        torn_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> SweepHeader {
+        SweepHeader {
+            version: VERSION,
+            total: 3,
+            seeds: 3,
+            base_seed: 1,
+            cycles: 16,
+            param: None,
+            fault_rate: Some(0.25),
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_encode_parse() {
+        let records = vec![
+            Record::Header(header()),
+            Record::Start { r: 2 },
+            Record::Done {
+                r: 2,
+                outcome: "completed".into(),
+                steps: 16,
+                transfers: 1234,
+                state_hash: 0xDEAD_BEEF,
+                stream_crc: 0x0BAD_F00D,
+            },
+            Record::Failed {
+                r: 1,
+                steps: 7,
+                reason: "panicked at 'boom': index 3".into(),
+            },
+            Record::Interrupted {
+                r: 0,
+                step: 9,
+                cause: "cancel".into(),
+                ckpt: Some("r0000.ckpt/step-00000009.ckpt".into()),
+            },
+            Record::Summary {
+                done: 1,
+                failed: 1,
+                interrupted: 1,
+                pending: 0,
+            },
+        ];
+        for r in &records {
+            let back = Record::parse(&r.encode()).unwrap();
+            assert_eq!(*r, back, "{}", r.encode());
+        }
+    }
+
+    #[test]
+    fn loader_tolerates_a_torn_tail_only() {
+        let dir = std::env::temp_dir().join(format!("lse-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.tsv");
+        let mut w = ManifestWriter::create(&path, &header()).unwrap();
+        w.append(&Record::Start { r: 0 }).unwrap();
+        w.append(&Record::Done {
+            r: 0,
+            outcome: "completed".into(),
+            steps: 16,
+            transfers: 9,
+            state_hash: 1,
+            stream_crc: 2,
+        })
+        .unwrap();
+        drop(w);
+
+        // A torn tail (partial append, no newline) is discarded.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let clean = bytes.clone();
+        bytes.extend_from_slice(b"deadbeef\tt=start r=1");
+        std::fs::write(&path, &bytes).unwrap();
+        let m = load(&path).unwrap();
+        assert!(m.torn_tail);
+        assert_eq!(m.latest.len(), 1);
+        assert!(matches!(m.latest[&0], Record::Done { .. }));
+        assert_eq!(m.header, header());
+
+        // The same damage mid-file is corruption.
+        let mut corrupt = b"deadbeef\tt=start r=1\n".to_vec();
+        corrupt.extend_from_slice(&clean);
+        std::fs::write(&path, &corrupt).unwrap();
+        assert!(load(&path).is_err());
+
+        // Flipping a byte inside a CRC-covered payload is caught.
+        let mut flipped = clean.clone();
+        let pos = flipped.len() / 2;
+        flipped[pos] ^= 0x20;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(load(&path).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn last_record_per_replica_wins() {
+        let dir = std::env::temp_dir().join(format!("lse-manifest2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.tsv");
+        let mut w = ManifestWriter::create(&path, &header()).unwrap();
+        w.append(&Record::Start { r: 0 }).unwrap();
+        w.append(&Record::Interrupted {
+            r: 0,
+            step: 4,
+            cause: "cancel".into(),
+            ckpt: None,
+        })
+        .unwrap();
+        w.append(&Record::Start { r: 0 }).unwrap();
+        w.append(&Record::Done {
+            r: 0,
+            outcome: "completed".into(),
+            steps: 16,
+            transfers: 9,
+            state_hash: 1,
+            stream_crc: 2,
+        })
+        .unwrap();
+        w.append(&Record::Summary {
+            done: 1,
+            failed: 0,
+            interrupted: 0,
+            pending: 2,
+        })
+        .unwrap();
+        drop(w);
+        let m = load(&path).unwrap();
+        assert!(matches!(m.latest[&0], Record::Done { .. }));
+        assert_eq!(m.summaries.len(), 1);
+        assert!(!m.torn_tail);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

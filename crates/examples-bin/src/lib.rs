@@ -21,6 +21,12 @@
 //! --deadline SECS             run-governance wall-clock deadline
 //! --retries N                 retry/backoff supervisor (arms rollback)
 //! --sink-backpressure P[:B]   block | drop, bounded at B bytes (default 1 MiB)
+//! --report-json PATH          write the run (or sweep) report as JSON
+//! --sweep KEY=LO..HI          ensemble mode: sweep a root parameter range
+//! --seeds N                   ensemble mode: replicas per parameter point
+//! --base-seed S               ensemble mode: base seed for replica seeds
+//! --sweep-dir DIR             ensemble output directory (default sweep_out)
+//! --resume-manifest DIR       resume the interrupted sweep recorded in DIR
 //! ```
 //!
 //! Usage inside an example:
@@ -42,6 +48,7 @@
 
 use liberty_core::prelude::*;
 use liberty_core::probe::json_escape;
+use liberty_ensemble::{ParamSweep, ReplicaSpec, SweepConfig, SweepReport, TopoCache};
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -69,12 +76,18 @@ pub struct ObsOpts {
     sink_backpressure: Option<(SinkPolicy, usize)>,
     explain_plan: bool,
     no_specialize: bool,
+    report_json: Option<PathBuf>,
+    sweep: Option<ParamSweep>,
+    seeds: Option<u64>,
+    base_seed: Option<u64>,
+    sweep_dir: Option<PathBuf>,
+    resume_manifest: Option<PathBuf>,
     /// Arguments not consumed by the observability layer, in order.
     pub rest: Vec<String>,
 }
 
 /// One line per flag, for embedding in an example's usage message.
-pub const OBS_USAGE: &str = "  --trace             print transfers (cap with --trace-limit N, default 200)\n  --vcd PATH          dump data/enable/ack waveforms for GTKWave\n  --jsonl PATH        stream structured events as JSON lines\n  --profile           print a per-instance hot-spot table at exit\n  --metrics-out PATH  write engine metrics + statistics as JSON\n  --faults SEED       inject a seeded random fault plan (chaos mode)\n  --fault-horizon N   fault activity window for --faults (default 64)\n  --fault-policy P    abort | quarantine on module failure (default quarantine)\n  --max-iters N       convergence watchdog: bound reactions per time-step\n  --scheduler S       sweep | dynamic | static | compiled | compiled-par\n  --threads N         worker threads for --scheduler compiled-par\n  --explain-plan      print which instances run as specialized kernels and why\n  --no-specialize     disable handler specialization (dynamic handler bodies)\n  --checkpoint-every N  take a checkpoint every N steps\n  --checkpoint-dir DIR  persist checkpoints as DIR/step-NNNNNNNN.ckpt\n  --resume FILE       restore a checkpoint before running\n  --max-steps N       stop (with a run report) after N executed steps\n  --deadline SECS     stop (with a run report) after SECS wall-clock seconds\n  --retries N         retry from checkpoint up to N times on quarantine/divergence\n  --sink-backpressure P[:BYTES]  bound VCD/JSONL buffering: block | drop (default 1 MiB)";
+pub const OBS_USAGE: &str = "  --trace             print transfers (cap with --trace-limit N, default 200)\n  --vcd PATH          dump data/enable/ack waveforms for GTKWave\n  --jsonl PATH        stream structured events as JSON lines\n  --profile           print a per-instance hot-spot table at exit\n  --metrics-out PATH  write engine metrics + statistics as JSON\n  --faults SEED       inject a seeded random fault plan (chaos mode)\n  --fault-horizon N   fault activity window for --faults (default 64)\n  --fault-policy P    abort | quarantine on module failure (default quarantine)\n  --max-iters N       convergence watchdog: bound reactions per time-step\n  --scheduler S       sweep | dynamic | static | compiled | compiled-par\n  --threads N         worker threads for --scheduler compiled-par\n  --explain-plan      print which instances run as specialized kernels and why\n  --no-specialize     disable handler specialization (dynamic handler bodies)\n  --checkpoint-every N  take a checkpoint every N steps\n  --checkpoint-dir DIR  persist checkpoints as DIR/step-NNNNNNNN.ckpt\n  --resume FILE       restore a checkpoint before running\n  --max-steps N       stop (with a run report) after N executed steps\n  --deadline SECS     stop (with a run report) after SECS wall-clock seconds\n  --retries N         retry from checkpoint up to N times on quarantine/divergence\n  --sink-backpressure P[:BYTES]  bound VCD/JSONL buffering: block | drop (default 1 MiB)\n  --report-json PATH  write the run (or sweep) report as machine-readable JSON\n  --sweep KEY=LO..HI  ensemble mode: one replica per value of a root parameter\n  --seeds N           ensemble mode: replicas per parameter point (default 1)\n  --base-seed S       ensemble mode: base seed replica seeds derive from\n  --sweep-dir DIR     ensemble output directory (default sweep_out)\n  --resume-manifest DIR  resume the interrupted sweep recorded in DIR's manifest";
 
 impl ObsOpts {
     /// Parse `std::env::args().skip(1)`.
@@ -187,6 +200,25 @@ impl ObsOpts {
                             .ok_or("--retries requires a retry count")?,
                     );
                 }
+                "--sweep" => {
+                    let v = args.next().ok_or("--sweep requires KEY=LO..HI")?;
+                    o.sweep = Some(ParamSweep::parse(&v)?);
+                }
+                "--seeds" => {
+                    o.seeds = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .ok_or("--seeds requires a positive replica count")?,
+                    );
+                }
+                "--base-seed" => {
+                    o.base_seed = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--base-seed requires a seed (u64)")?,
+                    );
+                }
                 "--explain-plan" => o.explain_plan = true,
                 "--no-specialize" => o.no_specialize = true,
                 "--sink-backpressure" => {
@@ -207,8 +239,17 @@ impl ObsOpts {
                 _ if a == "--checkpoint-dir" || a.starts_with("--checkpoint-dir=") => {
                     o.checkpoint_dir = Some(flag_path(&a, "--checkpoint-dir", &mut args)?);
                 }
+                _ if a == "--resume-manifest" || a.starts_with("--resume-manifest=") => {
+                    o.resume_manifest = Some(flag_path(&a, "--resume-manifest", &mut args)?);
+                }
                 _ if a == "--resume" || a.starts_with("--resume=") => {
                     o.resume = Some(flag_path(&a, "--resume", &mut args)?);
+                }
+                _ if a == "--report-json" || a.starts_with("--report-json=") => {
+                    o.report_json = Some(flag_path(&a, "--report-json", &mut args)?);
+                }
+                _ if a == "--sweep-dir" || a.starts_with("--sweep-dir=") => {
+                    o.sweep_dir = Some(flag_path(&a, "--sweep-dir", &mut args)?);
                 }
                 _ => o.rest.push(a),
             }
@@ -350,6 +391,7 @@ impl ObsOpts {
         sim.set_cancel_token(sigint_token());
         let report = sim.run_governed(cycles);
         self.emit_report(&report);
+        self.write_report_json(&report.to_json())?;
         match report.error.clone() {
             Some(e) => Err(e),
             None => Ok(report),
@@ -367,6 +409,7 @@ impl ObsOpts {
         sim.set_cancel_token(sigint_token());
         let report = sim.run_governed_until(max_cycles, pred);
         self.emit_report(&report);
+        self.write_report_json(&report.to_json())?;
         match report.error.clone() {
             Some(e) => Err(e),
             None => Ok(report),
@@ -377,6 +420,118 @@ impl ObsOpts {
         if self.governed() || report.stopped_early() || report.error.is_some() {
             eprint!("{}", report.render());
         }
+    }
+
+    /// Write `--report-json` output (a no-op without the flag). An
+    /// unwritable report file is a hard error: CI consumes these.
+    fn write_report_json(&self, json: &str) -> Result<(), SimError> {
+        if let Some(path) = &self.report_json {
+            std::fs::write(path, format!("{json}\n")).map_err(|e| {
+                SimError::Internal(format!("--report-json {}: {e}", path.display()))
+            })?;
+        }
+        Ok(())
+    }
+
+    /// True when any ensemble flag was given — the example should route
+    /// through [`ObsOpts::run_lss_sweep`] instead of a single run.
+    pub fn sweep_requested(&self) -> bool {
+        self.sweep.is_some() || self.seeds.is_some() || self.resume_manifest.is_some()
+    }
+
+    /// Run (or resume) a replica sweep over an LSS specification.
+    ///
+    /// Geometry comes from `--sweep`/`--seeds`/`--base-seed` (or, on
+    /// `--resume-manifest`, from the recorded manifest header, with any
+    /// explicitly repeated flag validated against it); execution knobs
+    /// (`--threads`, `--checkpoint-every`, `--max-steps`, `--deadline`,
+    /// `--retries`) apply per invocation. `--faults SEED` turns the
+    /// sweep into a chaos sweep: every replica gets a fault plan seeded
+    /// by its replica seed, and SEED doubles as the base seed unless
+    /// `--base-seed` overrides it.
+    ///
+    /// Each parameter point's replicas share one `Arc<Topology>` (and
+    /// its cached compiled plan) through a [`TopoCache`]; SIGINT fans
+    /// out to every in-flight replica, which park resumably. Prints the
+    /// sweep summary, honours `--report-json`, and returns the report.
+    pub fn run_lss_sweep(
+        &self,
+        src: &str,
+        registry: &Registry,
+        root: &str,
+        base: &Params,
+        default_sched: SchedKind,
+        cycles: u64,
+    ) -> Result<SweepReport, Box<dyn std::error::Error>> {
+        let dir = self
+            .resume_manifest
+            .clone()
+            .or_else(|| self.sweep_dir.clone())
+            .unwrap_or_else(|| PathBuf::from("sweep_out"));
+        let mut cfg = match &self.resume_manifest {
+            Some(d) => liberty_ensemble::resume_config(d)?,
+            None => SweepConfig::new(cycles),
+        };
+        if let Some(s) = &self.sweep {
+            cfg.sweep = Some(s.clone());
+        }
+        if let Some(n) = self.seeds {
+            cfg.seeds = n;
+        }
+        if let Some(b) = self.base_seed {
+            cfg.base_seed = b;
+        }
+        if let Some(seed) = self.faults {
+            cfg.fault_rate = Some(0.3);
+            cfg.fault_policy = self.fault_policy;
+            if self.base_seed.is_none() && self.resume_manifest.is_none() {
+                cfg.base_seed = seed;
+            }
+        }
+        if let Some(t) = self.threads {
+            cfg.threads = t;
+        }
+        if let Some(e) = self.checkpoint_every {
+            cfg.checkpoint_every = e;
+        }
+        if self.max_steps.is_some() {
+            cfg.max_steps = self.max_steps;
+        }
+        if self.deadline.is_some() {
+            cfg.deadline = self.deadline;
+        }
+        if let Some(n) = self.retries {
+            cfg.retry = Some(RetryPolicy::with_max_retries(n));
+        }
+        if let Some(w) = self.max_iters {
+            cfg.watchdog = w;
+        }
+
+        let sched = self.sched(default_sched);
+        let spec_ast = liberty_lss::parse(src)?;
+        let cache = TopoCache::new();
+        let factory = |spec: &ReplicaSpec| -> Result<Simulator, SimError> {
+            let params = spec.params(base);
+            let (net, _report) = liberty_lss::elaborate(&spec_ast, registry, root, &params)?;
+            let (topo, modules) = net.into_parts();
+            let shared = cache.unify(&spec.point_label(), topo);
+            Ok(Simulator::from_parts(shared, modules, sched))
+        };
+
+        let cancel = sigint_token();
+        let report = match &self.resume_manifest {
+            Some(d) => liberty_ensemble::resume_sweep(d, &cfg, &cancel, &factory)?,
+            None => liberty_ensemble::run_sweep(&dir, &cfg, &cancel, &factory)?,
+        };
+        print!("{}", report.render());
+        if !report.complete() {
+            eprintln!(
+                "sweep incomplete; resume with --resume-manifest {}",
+                dir.display()
+            );
+        }
+        self.write_report_json(&report.to_json())?;
+        Ok(report)
     }
 }
 
@@ -808,6 +963,143 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.lines().count() > 32, "events written through: {text}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parses_ensemble_flags() {
+        let o = parse(&[
+            "specs/pipeline.lss",
+            "--sweep",
+            "depth=1..4",
+            "--seeds",
+            "3",
+            "--base-seed",
+            "99",
+            "--sweep-dir",
+            "out",
+            "--report-json=report.json",
+        ]);
+        assert!(o.sweep_requested());
+        let s = o.sweep.as_ref().unwrap();
+        assert_eq!((s.key.as_str(), s.lo, s.hi), ("depth", 1, 4));
+        assert_eq!(o.seeds, Some(3));
+        assert_eq!(o.base_seed, Some(99));
+        assert_eq!(o.sweep_dir.as_deref(), Some(std::path::Path::new("out")));
+        assert_eq!(
+            o.report_json.as_deref(),
+            Some(std::path::Path::new("report.json"))
+        );
+        assert_eq!(o.rest, vec!["specs/pipeline.lss"]);
+
+        let o = parse(&["--resume-manifest", "out"]);
+        assert!(o.sweep_requested());
+        assert_eq!(
+            o.resume_manifest.as_deref(),
+            Some(std::path::Path::new("out"))
+        );
+        // `--resume FILE` (single-run checkpoint restore) stays distinct.
+        assert!(o.resume.is_none());
+
+        assert!(!parse(&["--jsonl", "x.jsonl"]).sweep_requested());
+        for bad in [
+            vec!["--sweep", "depth"],
+            vec!["--sweep", "depth=4..1"],
+            vec!["--seeds", "0"],
+            vec!["--base-seed", "x"],
+            vec!["--sweep-dir"],
+            vec!["--resume-manifest"],
+        ] {
+            assert!(
+                ObsOpts::parse(bad.iter().map(|s| s.to_string())).is_err(),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_json_is_written_by_governed_runs() {
+        struct Src;
+        impl Module for Src {
+            fn react(&mut self, ctx: &mut ReactCtx<'_>) -> Result<(), SimError> {
+                ctx.send(PortId(0), 0, Value::Word(ctx.now()))
+            }
+            fn commit(&mut self, _: &mut CommitCtx<'_>) -> Result<(), SimError> {
+                Ok(())
+            }
+        }
+        let mut b = NetlistBuilder::new();
+        b.add(
+            "s",
+            ModuleSpec::new("src").output("out", 0, 1),
+            Box::new(Src),
+        )
+        .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap(), SchedKind::Dynamic);
+        let path = std::env::temp_dir().join(format!("lse-obs-rj-{}.json", std::process::id()));
+        let o = parse(&[
+            "--max-steps",
+            "3",
+            &format!("--report-json={}", path.display()),
+        ]);
+        let obs = o.install(&mut sim).unwrap();
+        o.run(&mut sim, 100).unwrap();
+        obs.finish(&sim).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("\"outcome\":\"budget-exhausted\"") || text.contains("\"budget_axis\""),
+            "{text}"
+        );
+        assert!(text.contains("\"steps_executed\":3"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sweep_runs_and_resumes_from_the_cli_surface() {
+        let dir = std::env::temp_dir().join(format!("lse-obs-sweep-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let src = r#"
+            module main {
+                param depth = 2;
+                instance gen : seq_source { count = 24; };
+                instance q   : queue { depth = depth; };
+                instance dst : sink;
+                connect gen.out -> q.in;
+                connect q.out -> dst.in;
+            }
+        "#;
+        let mut reg = Registry::new();
+        liberty_pcl::register_all(&mut reg);
+
+        // Interrupted first pass: a 10-step budget parks every replica.
+        let o = parse(&[
+            "--sweep",
+            "depth=1..2",
+            "--seeds",
+            "2",
+            &format!("--sweep-dir={}", dir.display()),
+            "--max-steps",
+            "10",
+            "--checkpoint-every",
+            "4",
+        ]);
+        sigint_token().reset();
+        let r = o
+            .run_lss_sweep(src, &reg, "main", &Params::new(), SchedKind::Compiled, 32)
+            .unwrap();
+        // (Not asserting the exact interrupted count: the SIGINT token is
+        // process-global and another test briefly trips it.)
+        assert_eq!((r.total, r.done), (4, 0));
+        assert!(!r.complete());
+
+        // Resume with geometry from the manifest alone.
+        let o = parse(&[&format!("--resume-manifest={}", dir.display())]);
+        let r = o
+            .run_lss_sweep(src, &reg, "main", &Params::new(), SchedKind::Compiled, 32)
+            .unwrap();
+        assert!(r.complete(), "{}", r.render());
+        assert_eq!(r.done, 4);
+        assert!(dir.join("metrics.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

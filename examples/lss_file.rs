@@ -8,6 +8,17 @@
 //!
 //! Prints the construction census and every non-zero statistic the
 //! components published.
+//!
+//! With `--sweep KEY=LO..HI` / `--seeds N` the example becomes an
+//! ensemble driver: a grid of replicas runs under supervision into
+//! `--sweep-dir` (manifest + per-replica streams + aggregate CSV), and
+//! an interrupted sweep continues with `--resume-manifest DIR`:
+//!
+//! ```text
+//! lss_file specs/pipeline.lss 200 --sweep depth=1..4 --seeds 3 \
+//!     --sweep-dir out --threads 4
+//! lss_file specs/pipeline.lss --resume-manifest out --threads 4
+//! ```
 
 use liberty_core::prelude::*;
 use liberty_examples::ObsOpts;
@@ -24,6 +35,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let src = std::fs::read_to_string(&path)?;
     let registry = full_registry();
+
+    if opts.sweep_requested() {
+        let report = opts.run_lss_sweep(
+            &src,
+            &registry,
+            "main",
+            &Params::new(),
+            SchedKind::Static,
+            cycles,
+        )?;
+        if report.failed > 0 {
+            return Err(format!("{} replica(s) failed", report.failed).into());
+        }
+        if !report.complete() {
+            // Interrupted (SIGINT / budget): resumable, but not a success.
+            std::process::exit(2);
+        }
+        return Ok(());
+    }
+
     let (mut sim, report) = build_simulator(
         &src,
         &registry,
